@@ -1,0 +1,167 @@
+package tvp
+
+// The benchmarks below regenerate every table and figure of the paper's
+// evaluation (DESIGN.md experiment index E1–E14). Each benchmark runs the
+// corresponding experiment end to end on a reduced instruction budget and
+// reports paper-style metrics through testing.B custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// produces the whole evaluation sweep. cmd/tvpreport runs the same
+// experiments at full length and prints the detailed per-benchmark rows.
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/report"
+)
+
+// benchConfig keeps the full sweep affordable under `go test -bench`.
+func benchConfig() report.Config {
+	return report.Config{Warmup: 10_000, Insts: 60_000}
+}
+
+// sample is a representative slice of the suite (one per behavior class)
+// used by the heavier multi-config benchmarks.
+var sample = []string{
+	"600_perlbench_s_1", // interpreter, MVP-visible booleans
+	"602_gcc_s_2",       // the GVP-standout compiler point
+	"605_mcf_s",         // DRAM-bound pointer chasing
+	"623_xalancbmk_s",   // the paper's GVP outlier
+	"654_roms_s",        // TVP×prefetcher interaction
+	"648_exchange2_s",   // cache-resident high-IPC integer
+}
+
+func sampled() report.Config {
+	c := benchConfig()
+	c.Workloads = sample
+	return c
+}
+
+// BenchmarkFig1ValueDistribution regenerates the dynamic value
+// distribution (E1). Reported metric: percent of dynamic GPR results that
+// are 0x0 (the paper's dominant value).
+func BenchmarkFig1ValueDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		vs := report.Fig1(sampled(), 10)
+		if vs[0].Value == 0 {
+			b.ReportMetric(vs[0].Percent, "%zero")
+		}
+	}
+}
+
+// BenchmarkFig2BaselineIPC regenerates µop expansion and baseline IPC
+// (E2). Metrics: mean µops/instruction and harmonic-mean IPC.
+func BenchmarkFig2BaselineIPC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, uops, ipc := report.Fig2(sampled())
+		b.ReportMetric(uops, "uops/inst")
+		b.ReportMetric(ipc, "hmean-IPC")
+	}
+}
+
+// BenchmarkFig3VPSpeedup regenerates the MVP/TVP/GVP speedup figure (E3).
+// Metrics: geomean speedup percentages per flavor.
+func BenchmarkFig3VPSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, sum := report.Fig3(sampled())
+		b.ReportMetric(sum.GeomeanSpeedup[0], "MVP%")
+		b.ReportMetric(sum.GeomeanSpeedup[1], "TVP%")
+		b.ReportMetric(sum.GeomeanSpeedup[2], "GVP%")
+	}
+}
+
+// BenchmarkTable3BudgetSweep regenerates the predictor budget study (E4).
+// Metric: GVP geomean at the Table 2 scale.
+func BenchmarkTable3BudgetSweep(b *testing.B) {
+	c := sampled()
+	c.Workloads = []string{"623_xalancbmk_s", "602_gcc_s_2"}
+	for i := 0; i < b.N; i++ {
+		rows := report.Table3(c)
+		b.ReportMetric(rows[1].Geomean[2], "GVP%@1x")
+		b.ReportMetric(rows[1].StorageKB[2], "GVP-KB")
+	}
+}
+
+// BenchmarkFig4RenameEliminations regenerates the elimination breakdown
+// (E5). Metrics: mean move-elimination and SpSR percentages (TVP+SpSR).
+func BenchmarkFig4RenameEliminations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, mean := report.Fig4(sampled(), config.TVP)
+		b.ReportMetric(mean.Move, "move%")
+		b.ReportMetric(mean.SpSR, "spsr%")
+		b.ReportMetric(mean.NineBit, "9bit%")
+	}
+}
+
+// BenchmarkFig5SpSRSpeedup regenerates the SpSR speedup comparison (E6).
+// Metrics: TVP and TVP+SpSR geomeans.
+func BenchmarkFig5SpSRSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, geo := report.Fig5(sampled())
+		b.ReportMetric(geo[2], "TVP%")
+		b.ReportMetric(geo[3], "TVP+SpSR%")
+	}
+}
+
+// BenchmarkFig6Activity regenerates the PRF/IQ activity proxies (E7).
+// Metrics: TVP+SpSR INT PRF writes and IQ dispatches vs baseline.
+func BenchmarkFig6Activity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := report.Fig6(sampled())
+		b.ReportMetric(rows[3].IntPRFWrites, "TVP+SpSR-PRFwr%")
+		b.ReportMetric(rows[3].IQAdded, "TVP+SpSR-IQadd%")
+	}
+}
+
+// BenchmarkAblationSilencing sweeps the misprediction silencing window
+// (E13).
+func BenchmarkAblationSilencing(b *testing.B) {
+	c := benchConfig()
+	c.Workloads = []string{"600_perlbench_s_1", "641_leela_s"}
+	for i := 0; i < b.N; i++ {
+		rows := report.AblationSilencing(c, []int{15, 250})
+		b.ReportMetric(rows[0].Geomean[0], "MVP%@15c")
+		b.ReportMetric(rows[1].Geomean[0], "MVP%@250c")
+	}
+}
+
+// BenchmarkAblationPrefetch runs the §6.2 stride-prefetcher interaction
+// study (E14) on roms.
+func BenchmarkAblationPrefetch(b *testing.B) {
+	c := benchConfig()
+	c.Workloads = []string{"654_roms_s"}
+	for i := 0; i < b.N; i++ {
+		rows := report.AblationPrefetch(c)
+		b.ReportMetric(rows[0].WithStride, "with%")
+		b.ReportMetric(rows[0].WithoutStride, "without%")
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (simulated
+// instructions per wall second) on the baseline machine — the practical
+// limit on experiment scale.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(Options{Workload: "648_exchange2_s", Warmup: 0, MaxInsts: 100_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.TotalInsts), "sim-insts/op")
+	}
+}
+
+// BenchmarkSimulatorThroughputVP measures simulation speed with the full
+// TVP+SpSR machinery engaged.
+func BenchmarkSimulatorThroughputVP(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(Options{Workload: "602_gcc_s_2", VP: TVP, SpSR: true, Warmup: 0, MaxInsts: 100_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.TotalInsts), "sim-insts/op")
+	}
+}

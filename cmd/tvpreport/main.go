@@ -1,0 +1,108 @@
+// Command tvpreport regenerates the paper's tables and figures on the
+// synthetic workload suite (see DESIGN.md's experiment index). With no
+// selection flags it produces the full report used for EXPERIMENTS.md.
+//
+// Usage:
+//
+//	tvpreport                 # everything
+//	tvpreport -fig 3          # one figure (1..6)
+//	tvpreport -table 1        # one table (1..3)
+//	tvpreport -storage        # §3.3 predictor storage model
+//	tvpreport -ablation silencing|prefetch
+//	tvpreport -insts 250000 -warmup 50000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/config"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		fig      = flag.Int("fig", 0, "regenerate one figure (1-6)")
+		table    = flag.Int("table", 0, "regenerate one table (1-3)")
+		storage  = flag.Bool("storage", false, "print the predictor storage model")
+		ablation = flag.String("ablation", "", "run an ablation: silencing|prefetch|dynsilence")
+		warm     = flag.Uint64("warmup", 50_000, "warmup instructions per run")
+		insts    = flag.Uint64("insts", 250_000, "measured instructions per run")
+	)
+	flag.Parse()
+
+	cfg := report.Config{Warmup: *warm, Insts: *insts}
+	w := os.Stdout
+	all := *fig == 0 && *table == 0 && !*storage && *ablation == ""
+
+	if all || *table == 2 {
+		report.WriteTable2(w, config.Default())
+		fmt.Fprintln(w)
+	}
+	if all || *storage {
+		report.WriteStorage(w, config.Default())
+		fmt.Fprintln(w)
+	}
+	if all || *table == 1 {
+		report.WriteTable1(w, report.Table1())
+		fmt.Fprintln(w)
+	}
+	if all || *fig == 1 {
+		report.WriteFig1(w, report.Fig1(cfg, 20))
+		fmt.Fprintln(w)
+	}
+	if all || *fig == 2 {
+		rows, mu, hi := report.Fig2(cfg)
+		report.WriteFig2(w, rows, mu, hi)
+		fmt.Fprintln(w)
+	}
+	if all || *fig == 3 {
+		rows, sum := report.Fig3(cfg)
+		report.WriteFig3(w, rows, sum)
+		fmt.Fprintln(w)
+	}
+	if all || *table == 3 {
+		report.WriteTable3(w, report.Table3(cfg))
+		fmt.Fprintln(w)
+	}
+	if all || *fig == 4 {
+		rows, mean := report.Fig4(cfg, config.MVP)
+		report.WriteFig4(w, "Fig. 4a — % dynamic instructions eliminated at rename (MVP + SpSR)", rows, mean)
+		fmt.Fprintln(w)
+		rows, mean = report.Fig4(cfg, config.TVP)
+		report.WriteFig4(w, "Fig. 4b — % dynamic instructions eliminated at rename (TVP + SpSR)", rows, mean)
+		fmt.Fprintln(w)
+	}
+	if all || *fig == 5 {
+		rows, geo := report.Fig5(cfg)
+		report.WriteFig5(w, rows, geo)
+		fmt.Fprintln(w)
+	}
+	if all || *fig == 6 {
+		report.WriteFig6(w, report.Fig6(cfg))
+		fmt.Fprintln(w)
+	}
+	if all || *ablation == "silencing" {
+		// Window 0 is deliberately absent: without silencing the
+		// refetched instruction immediately re-uses the same wrong
+		// confident prediction and the machine livelocks, exactly as
+		// §3.4.1 warns (see TestLivelockWithoutSilencing).
+		report.WriteSilencing(w, report.AblationSilencing(cfg, []int{15, 60, 250, 1000}))
+		fmt.Fprintln(w)
+	}
+	if all || *ablation == "prefetch" {
+		report.WritePrefetch(w, report.AblationPrefetch(cfg))
+		fmt.Fprintln(w)
+	}
+	if all || *ablation == "dynsilence" {
+		fixed, dynamic := report.AblationDynamicSilence(cfg)
+		report.WriteDynamicSilence(w, fixed, dynamic)
+		fmt.Fprintln(w)
+	}
+	if all || *ablation == "validation" {
+		sp, rd := report.AblationValidation(cfg)
+		report.WriteValidation(w, sp, rd)
+		fmt.Fprintln(w)
+	}
+}

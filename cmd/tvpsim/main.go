@@ -1,0 +1,177 @@
+// Command tvpsim runs one workload (or the whole suite) on a chosen
+// machine configuration and prints the headline statistics. It is the
+// interactive companion to cmd/tvpreport, which regenerates the paper's
+// tables and figures.
+//
+// Usage:
+//
+//	tvpsim -workload 602_gcc_s_1 -vp tvp -spsr -insts 300000
+//	tvpsim -all -vp gvp
+//	tvpsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	tvp "repro"
+	"repro/internal/config"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+func parseVP(s string) (tvp.VPMode, error) {
+	switch strings.ToLower(s) {
+	case "", "off", "none", "baseline":
+		return tvp.VPOff, nil
+	case "mvp", "min":
+		return tvp.MVP, nil
+	case "tvp", "tar":
+		return tvp.TVP, nil
+	case "gvp", "gen":
+		return tvp.GVP, nil
+	}
+	return tvp.VPOff, fmt.Errorf("unknown VP mode %q (want off|mvp|tvp|gvp)", s)
+}
+
+// runCompare runs baseline, MVP, TVP and GVP on each workload and prints
+// per-benchmark speedups plus coverage, mirroring the paper's Fig. 3.
+func runCompare(names []string, spsr bool, warm, insts uint64) {
+	modes := []tvp.VPMode{tvp.VPOff, tvp.MVP, tvp.TVP, tvp.GVP}
+	var opts []tvp.Options
+	for _, n := range names {
+		for _, m := range modes {
+			opts = append(opts, tvp.Options{Workload: n, VP: m, SpSR: spsr && m != tvp.VPOff, Warmup: warm, MaxInsts: insts})
+		}
+	}
+	results, errs := tvp.RunMany(opts)
+	fmt.Printf("%-22s %8s | %8s %7s | %8s %7s | %8s %7s\n",
+		"workload", "baseIPC", "MVP%", "cov%", "TVP%", "cov%", "GVP%", "cov%")
+	var sp [3][]float64
+	for i, n := range names {
+		row := results[i*4 : i*4+4]
+		for j := 0; j < 4; j++ {
+			if errs[i*4+j] != nil {
+				fmt.Printf("%-22s error: %v\n", n, errs[i*4+j])
+				continue
+			}
+		}
+		base := row[0].Stats.IPC()
+		fmt.Printf("%-22s %8.3f |", n, base)
+		for j := 1; j < 4; j++ {
+			stj := &row[j].Stats
+			up := (stj.IPC()/base - 1) * 100
+			sp[j-1] = append(sp[j-1], up)
+			fmt.Printf(" %+8.2f %7.2f |", up, 100*stj.VPCoverage())
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-22s %8s |", "geomean", "")
+	for j := 0; j < 3; j++ {
+		g := 1.0
+		for _, v := range sp[j] {
+			g *= 1 + v/100
+		}
+		g = (pow(g, 1/float64(len(sp[j]))) - 1) * 100
+		fmt.Printf(" %+8.2f %7s |", g, "")
+	}
+	fmt.Println()
+}
+
+func pow(x, y float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	// crude but dependency-free: exp(y*ln(x)) via math
+	return math.Pow(x, y)
+}
+
+// runPipetrace attaches a pipeline-view tracer and simulates just far
+// enough to print the first n committed µops.
+func runPipetrace(name string, mode tvp.VPMode, spsr bool, n int) {
+	spec, err := workload.Get(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tvpsim:", err)
+		os.Exit(2)
+	}
+	cfg := config.Default().WithVP(mode).WithSpSR(spsr)
+	core := pipeline.New(cfg, spec.Build())
+	core.SetTracer(pipeline.NewPipeview(os.Stdout, n))
+	core.Run(0, uint64(n)+64)
+}
+
+func main() {
+	var (
+		wl      = flag.String("workload", "", "workload name (see -list)")
+		all     = flag.Bool("all", false, "run the full suite")
+		list    = flag.Bool("list", false, "list workload names and exit")
+		vpFlag  = flag.String("vp", "off", "value prediction flavor: off|mvp|tvp|gvp")
+		spsr    = flag.Bool("spsr", false, "enable speculative strength reduction")
+		warm    = flag.Uint64("warmup", 50_000, "warmup instructions")
+		insts   = flag.Uint64("insts", 300_000, "measured instructions")
+		compare = flag.Bool("compare", false, "run baseline+MVP+TVP+GVP and print speedups")
+		ptrace  = flag.Int("pipetrace", 0, "print an O3-pipeview-style trace of the first N committed µops")
+	)
+	flag.Parse()
+
+	if *compare {
+		names := tvp.Benchmarks()
+		if !*all && *wl != "" {
+			names = []string{*wl}
+		}
+		runCompare(names, *spsr, *warm, *insts)
+		return
+	}
+
+	if *list {
+		for _, n := range tvp.Benchmarks() {
+			fmt.Println(n)
+		}
+		return
+	}
+	mode, err := parseVP(*vpFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tvpsim:", err)
+		os.Exit(2)
+	}
+
+	names := []string{*wl}
+	if *all {
+		names = tvp.Benchmarks()
+	} else if *wl == "" {
+		fmt.Fprintln(os.Stderr, "tvpsim: need -workload or -all (or -list)")
+		os.Exit(2)
+	}
+
+	if *ptrace > 0 {
+		if len(names) != 1 {
+			fmt.Fprintln(os.Stderr, "tvpsim: -pipetrace needs a single -workload")
+			os.Exit(2)
+		}
+		runPipetrace(names[0], mode, *spsr, *ptrace)
+		return
+	}
+
+	opts := make([]tvp.Options, len(names))
+	for i, n := range names {
+		opts[i] = tvp.Options{Workload: n, VP: mode, SpSR: *spsr, Warmup: *warm, MaxInsts: *insts}
+	}
+	results, errs := tvp.RunMany(opts)
+
+	fmt.Printf("%-22s %8s %8s %7s %7s %7s %7s %8s %8s\n",
+		"workload", "IPC", "uops/in", "MPKI", "L1DMPKI", "VPcov%", "VPacc%", "elim%", "spsr%")
+	for i, r := range results {
+		if errs[i] != nil {
+			fmt.Printf("%-22s error: %v\n", names[i], errs[i])
+			continue
+		}
+		st := &r.Stats
+		elim := st.ElimFraction(st.ZeroIdiomElim+st.OneIdiomElim+st.MoveElim+st.NineBitElim) * 100
+		fmt.Printf("%-22s %8.3f %8.3f %7.2f %7.2f %7.2f %7.3f %8.3f %8.3f\n",
+			r.Workload, st.IPC(), st.UopsPerInst(), st.BranchMPKI(), st.L1DMPKI(),
+			100*st.VPCoverage(), 100*st.VPAccuracy(), elim, 100*st.ElimFraction(st.SpSRElim))
+	}
+}

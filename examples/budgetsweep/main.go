@@ -1,0 +1,56 @@
+// budgetsweep reproduces the paper's Table 3 sensitivity study on a
+// chosen workload: the same VTAGE layout at several storage scales, for
+// each targeting flavor, demonstrating the central storage argument —
+// MVP and TVP reach their potential with a fraction of GVP's budget
+// because their entries are 1 and 9 bits wide instead of 64 (§3.3).
+//
+//	go run ./examples/budgetsweep [workload]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	tvp "repro"
+	"repro/internal/config"
+	"repro/internal/report"
+)
+
+func main() {
+	workload := "602_gcc_s_2"
+	if len(os.Args) > 1 {
+		workload = os.Args[1]
+	}
+
+	base, err := tvp.Run(tvp.Options{Workload: workload, Warmup: 20_000, MaxInsts: 120_000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %s, baseline IPC %.3f\n\n", workload, base.Stats.IPC())
+	fmt.Printf("%-14s | %-22s | %-22s | %-22s\n", "table scale", "MVP", "TVP", "GVP")
+	fmt.Printf("%-14s | %10s %9s | %10s %9s | %10s %9s\n",
+		"", "storage", "speedup", "storage", "speedup", "storage", "speedup")
+
+	for _, scale := range []struct {
+		label string
+		d     int
+	}{{"0.5x", -1}, {"1x (Table 2)", 0}, {"2x", 1}} {
+		fmt.Printf("%-14s |", scale.label)
+		for _, mode := range []tvp.VPMode{tvp.MVP, tvp.TVP, tvp.GVP} {
+			cfg := config.Default().WithVPBudgetScale(scale.d)
+			res, err := tvp.Run(tvp.Options{
+				Workload: workload, VP: mode, Config: cfg,
+				Warmup: 20_000, MaxInsts: 120_000,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			up := (res.Stats.IPC()/base.Stats.IPC() - 1) * 100
+			fmt.Printf(" %8.1fKB %+8.2f%% |", report.StorageKB(cfg, mode), up)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nPaper Table 3's point: at every budget the ordering holds, and the small")
+	fmt.Println("flavors' footprints stay far below GVP's for the same table geometry.")
+}

@@ -1,0 +1,84 @@
+// spsrdemo builds a small program by hand whose critical path is full of
+// Table 1 idiom opportunities — booleans feeding adds, ands, conditional
+// selects and branches — and shows what Speculative Strength Reduction
+// does to it: instructions disappear at rename once their operands are
+// predicted 0/1, shrinking IQ dispatches without hurting correctness.
+//
+//	go run ./examples/spsrdemo
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tvp "repro"
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/report"
+)
+
+// buildDemo returns a loop dominated by SpSR-reducible instructions: a
+// stable flag loaded from memory participates in add/ands/csel/cbz every
+// iteration.
+func buildDemo() *prog.Program {
+	b := prog.NewBuilder("spsrdemo")
+	flag := b.AllocWords(1, 0) // the stable 0x0 every idiom keys on
+	b.MovAddr(isa.X1, flag)
+	b.MovImm(isa.X9, 1<<40)
+	top := b.Here()
+
+	b.Ldr(isa.X2, isa.X1, 0, 8) // stable 0 → value predicted
+	// Table 1 food: every consumer below reduces when x2 is predicted 0.
+	b.Add(isa.X3, isa.X4, isa.X2)          // → move-idiom
+	b.Ands(isa.X5, isa.X2, isa.X4)         // → zero-idiom + NZCV{Z}
+	b.Csel(isa.X6, isa.X3, isa.X5, isa.NE) // NZCV known → move-idiom
+	skip := b.NewLabel()
+	b.Cbz(isa.X2, skip) // → resolved at rename (taken)
+	b.AddI(isa.X4, isa.X4, 99)
+	b.Bind(skip)
+	b.LslI(isa.X7, isa.X6, 2)
+	b.Add(isa.X4, isa.X4, isa.X7)
+
+	b.SubsI(isa.X9, isa.X9, 1)
+	b.BCond(isa.NE, top)
+	b.Halt()
+	return b.Build()
+}
+
+func main() {
+	fmt.Println("Table 1 idioms as the rename engine implements them:")
+	for _, c := range report.Table1()[:8] {
+		fmt.Printf("  %-26s %-22s → %s\n", c.Instruction, c.Operand, c.Reduction)
+	}
+	fmt.Println("  ... (run `tvpreport -table 1` for the full table)")
+	fmt.Println()
+
+	run := func(spsr bool) tvp.Result {
+		res, err := tvp.Run(tvp.Options{
+			Program:  buildDemo(),
+			VP:       tvp.MVP,
+			SpSR:     spsr,
+			Warmup:   20_000,
+			MaxInsts: 120_000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	off, on := run(false), run(true)
+	fmt.Printf("%-28s %12s %12s\n", "MVP, hand-built demo loop", "SpSR off", "SpSR on")
+	fmt.Printf("%-28s %12.3f %12.3f\n", "IPC", off.Stats.IPC(), on.Stats.IPC())
+	fmt.Printf("%-28s %12d %12d\n", "IQ dispatches", off.Stats.IQAdded, on.Stats.IQAdded)
+	fmt.Printf("%-28s %12d %12d\n", "IQ issues", off.Stats.IQIssued, on.Stats.IQIssued)
+	fmt.Printf("%-28s %12d %12d\n", "SpSR eliminations", off.Stats.SpSRElim, on.Stats.SpSRElim)
+	fmt.Printf("%-28s %12d %12d\n", "  of which moves", off.Stats.SpSRMove, on.Stats.SpSRMove)
+	fmt.Printf("%-28s %12d %12d\n", "  of which zero/one", off.Stats.SpSRZero+off.Stats.SpSROne, on.Stats.SpSRZero+on.Stats.SpSROne)
+	fmt.Printf("%-28s %12d %12d\n", "  resolved branches", off.Stats.SpSRBranch, on.Stats.SpSRBranch)
+	fmt.Printf("%-28s %12.2f%% %11.2f%%\n", "dyn. insts eliminated",
+		100*off.Stats.ElimFraction(off.Stats.SpSRElim), 100*on.Stats.ElimFraction(on.Stats.SpSRElim))
+	fmt.Println("\nAs in the paper (§6.2), SpSR's win is resource pressure, not raw IPC:")
+	fmt.Printf("IQ dispatches drop by %.1f%% while committed work is identical.\n",
+		100*(1-float64(on.Stats.IQAdded)/float64(off.Stats.IQAdded)))
+}

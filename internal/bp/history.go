@@ -1,0 +1,133 @@
+// Package bp implements the frontend predictors of the simulated core: a
+// TAGE conditional branch predictor (Seznec 2011), a set-associative BTB,
+// a tagged indirect target cache, and a return address stack. It also
+// exports the global/folded branch history machinery that the VTAGE value
+// predictor (internal/vp) shares, since VTAGE indexes its tables with the
+// same kind of geometric global-history hashes (Perais & Seznec 2014).
+//
+// Because the timing model simulates the correct path only (see
+// DESIGN.md), history is updated with actual branch outcomes at prediction
+// time, the standard trace-driven discipline: wrong-path history pollution
+// is not modeled, and no history checkpoint/repair is needed.
+package bp
+
+import "math"
+
+// HistoryBits is the capacity of the global history ring. It must exceed
+// the longest history length any predictor table uses (640 in Table 2).
+const HistoryBits = 1024
+
+// GlobalHistory is a shift register of conditional branch directions, most
+// recent first, backed by a ring so long histories are cheap.
+type GlobalHistory struct {
+	bits [HistoryBits / 64]uint64
+	pos  int // position of the most recently inserted bit
+}
+
+// Push inserts the newest direction bit.
+func (h *GlobalHistory) Push(taken bool) {
+	h.pos = (h.pos + 1) % HistoryBits
+	w, b := h.pos/64, uint(h.pos%64)
+	if taken {
+		h.bits[w] |= 1 << b
+	} else {
+		h.bits[w] &^= 1 << b
+	}
+}
+
+// Bit returns direction bit i, where 0 is the most recent.
+func (h *GlobalHistory) Bit(i int) uint64 {
+	p := h.pos - i
+	p %= HistoryBits
+	if p < 0 {
+		p += HistoryBits
+	}
+	return h.bits[p/64] >> (uint(p) % 64) & 1
+}
+
+// FoldedHistory incrementally maintains the XOR-fold of the newest
+// histLen history bits down to width bits, the classic TAGE construction:
+// pushing a bit XORs it in at the bottom and removes the bit leaving the
+// window at its folded position.
+type FoldedHistory struct {
+	Folded  uint64
+	histLen int
+	width   int
+	outPos  int // position within the fold where the outgoing bit lands
+}
+
+// NewFolded returns a fold of histLen bits into width bits.
+func NewFolded(histLen, width int) FoldedHistory {
+	return FoldedHistory{histLen: histLen, width: width, outPos: histLen % width}
+}
+
+// Update folds in the new direction bit; old must be the direction bit
+// that is histLen pushes old (obtained from GlobalHistory.Bit before the
+// push).
+func (f *FoldedHistory) Update(newBit, oldBit uint64) {
+	f.Folded = f.Folded<<1 | newBit
+	f.Folded ^= oldBit << uint(f.outPos)
+	f.Folded ^= f.Folded >> uint(f.width)
+	f.Folded &= 1<<uint(f.width) - 1
+}
+
+// HistorySet bundles a global history with per-table folded views for
+// indices and tags; both TAGE and VTAGE own one.
+type HistorySet struct {
+	Global GlobalHistory
+	folds  []FoldedHistory
+	lens   []int
+}
+
+// NewHistorySet creates folded views; folds[i] folds lens[i] bits into
+// widths[i] bits.
+func NewHistorySet(lens, widths []int) *HistorySet {
+	if len(lens) != len(widths) {
+		panic("bp: lens/widths mismatch")
+	}
+	hs := &HistorySet{lens: append([]int(nil), lens...)}
+	hs.folds = make([]FoldedHistory, len(lens))
+	for i := range lens {
+		hs.folds[i] = NewFolded(lens[i], widths[i])
+	}
+	return hs
+}
+
+// Fold returns the current folded value of view i.
+func (hs *HistorySet) Fold(i int) uint64 { return hs.folds[i].Folded }
+
+// Push inserts a new direction bit, updating every folded view.
+func (hs *HistorySet) Push(taken bool) {
+	for i := range hs.folds {
+		old := hs.Global.Bit(hs.lens[i] - 1)
+		var nb uint64
+		if taken {
+			nb = 1
+		}
+		hs.folds[i].Update(nb, old)
+	}
+	hs.Global.Push(taken)
+}
+
+// GeometricLengths returns n history lengths forming a geometric series
+// from minLen to maxLen inclusive (n >= 2), as used by TAGE and VTAGE.
+func GeometricLengths(minLen, maxLen, n int) []int {
+	if n == 1 {
+		return []int{minLen}
+	}
+	out := make([]int, n)
+	ratio := math.Pow(float64(maxLen)/float64(minLen), 1/float64(n-1))
+	l := float64(minLen)
+	prev := 0
+	for i := 0; i < n; i++ {
+		v := int(l + 0.5)
+		if v <= prev {
+			v = prev + 1
+		}
+		out[i] = v
+		prev = v
+		l *= ratio
+	}
+	out[n-1] = maxLen
+	return out
+}

@@ -1,0 +1,61 @@
+package bp
+
+// Indirect is a tagged, path-history-hashed indirect branch target cache
+// (Table 2: "1k-entry Indirect Branch Target Cache"). It is indexed by a
+// hash of the branch PC and a short path history of recent indirect
+// targets, in the style of the classic cascaded indirect predictors.
+type Indirect struct {
+	entries []indEntry
+	mask    uint64
+	path    uint64 // path history of recent taken-branch targets
+}
+
+type indEntry struct {
+	valid  bool
+	tag    uint16
+	target uint64
+}
+
+// NewIndirect returns a predictor with n entries (rounded down to a power
+// of two).
+func NewIndirect(n int) *Indirect {
+	for n&(n-1) != 0 {
+		n &= n - 1
+	}
+	if n == 0 {
+		n = 1
+	}
+	return &Indirect{entries: make([]indEntry, n), mask: uint64(n - 1)}
+}
+
+func (p *Indirect) slot(pc uint64) (*indEntry, uint16) {
+	h := pc>>2 ^ p.path*0x9e3779b97f4a7c15>>48
+	idx := h & p.mask
+	tag := uint16(pc >> 2 * 0x9e37 >> 4)
+	return &p.entries[idx], tag
+}
+
+// Lookup predicts the target of the indirect branch at pc.
+func (p *Indirect) Lookup(pc uint64) (target uint64, ok bool) {
+	e, tag := p.slot(pc)
+	if e.valid && e.tag == tag {
+		return e.target, true
+	}
+	return 0, false
+}
+
+// Update records the actual target and folds it into the path history.
+func (p *Indirect) Update(pc, target uint64) {
+	e, tag := p.slot(pc)
+	e.valid = true
+	e.tag = tag
+	e.target = target
+	p.PushPath(target)
+}
+
+// PushPath folds a taken-branch target into the path history. The
+// pipeline calls this for taken branches that are not indirect so the
+// hash captures global control flow.
+func (p *Indirect) PushPath(target uint64) {
+	p.path = p.path<<3 ^ target>>2
+}

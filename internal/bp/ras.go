@@ -1,0 +1,40 @@
+package bp
+
+// RAS is a return address stack. Calls push their return address; returns
+// pop the predicted target. Overflow wraps (overwriting the oldest entry)
+// and underflow predicts 0, both standard behaviors.
+type RAS struct {
+	stack []uint64
+	top   int // index of the next free slot
+	depth int // live entries (≤ len(stack))
+}
+
+// NewRAS returns a stack with n entries.
+func NewRAS(n int) *RAS {
+	if n <= 0 {
+		n = 1
+	}
+	return &RAS{stack: make([]uint64, n)}
+}
+
+// Push records a return address at call time.
+func (r *RAS) Push(ret uint64) {
+	r.stack[r.top] = ret
+	r.top = (r.top + 1) % len(r.stack)
+	if r.depth < len(r.stack) {
+		r.depth++
+	}
+}
+
+// Pop predicts the target of a return. ok is false on underflow.
+func (r *RAS) Pop() (target uint64, ok bool) {
+	if r.depth == 0 {
+		return 0, false
+	}
+	r.depth--
+	r.top--
+	if r.top < 0 {
+		r.top += len(r.stack)
+	}
+	return r.stack[r.top], true
+}

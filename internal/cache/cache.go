@@ -1,0 +1,303 @@
+// Package cache implements the simulated cache hierarchy: set-associative,
+// LRU, write-back/write-allocate caches with MSHR-based miss tracking,
+// chained into L1I/L1D → L2 → L3 → memory per Table 2 of the paper.
+//
+// The model is latency-oriented: an access performed at a given cycle
+// returns the cycle at which its data is available. Lines are installed
+// functionally at access time while MSHRs carry the timing of in-flight
+// fills, so concurrent misses to one line merge onto a single fill
+// (standard MSHR semantics) and MSHR exhaustion back-pressures new misses.
+package cache
+
+import (
+	"repro/internal/config"
+)
+
+// Level is anything that can service a line fill: a Cache or the Memory
+// backstop.
+type Level interface {
+	// Access requests the line containing addr at the given cycle and
+	// returns the cycle the line is available to the requester. Writes
+	// are identified for dirty-line bookkeeping; prefetches for stats.
+	Access(addr uint64, cycle uint64, write, prefetch bool) uint64
+}
+
+// Memory is the fixed-latency DRAM backstop.
+type Memory struct {
+	Latency uint64
+	// Accesses counts line requests reaching memory.
+	Accesses uint64
+}
+
+// Access implements Level.
+func (m *Memory) Access(_ uint64, cycle uint64, _, _ bool) uint64 {
+	m.Accesses++
+	return cycle + m.Latency
+}
+
+// Prefetcher observes demand accesses at one cache level and proposes
+// prefetch addresses (byte addresses; the cache dedups by line).
+type Prefetcher interface {
+	// Observe is called for each demand access with the byte address, the
+	// requesting PC (zero if unknown), and whether the access hit. The
+	// returned addresses are prefetched into the observing cache.
+	Observe(addr, pc uint64, hit bool) []uint64
+}
+
+// Cache is one cache level.
+type Cache struct {
+	Name string
+
+	cfg      config.CacheConfig
+	sets     [][]line
+	lineBits uint
+	setMask  uint64
+	next     Level
+	mshrs    []mshr
+	pf       Prefetcher
+	clock    uint64
+
+	// MissHook, when non-nil, is invoked on each demand miss (debugging).
+	MissHook func(addr uint64, write bool)
+
+	// Stats.
+	Accesses     uint64 // demand accesses
+	Misses       uint64 // demand misses (MSHR merges count as misses too)
+	Writebacks   uint64
+	PFIssued     uint64 // prefetches sent by the attached prefetcher
+	PFUseful     uint64 // demand hits on prefetched-but-unused lines
+	MSHRConflict uint64 // accesses delayed by MSHR exhaustion
+}
+
+type line struct {
+	valid      bool
+	dirty      bool
+	prefetched bool
+	tag        uint64
+	lru        uint64
+}
+
+type mshr struct {
+	valid bool
+	tag   uint64 // full line address
+	ready uint64
+}
+
+// New builds a cache level in front of next, optionally with a
+// prefetcher.
+func New(name string, cfg config.CacheConfig, next Level, pf Prefetcher) *Cache {
+	nsets := cfg.Sets()
+	c := &Cache{
+		Name:    name,
+		cfg:     cfg,
+		next:    next,
+		pf:      pf,
+		setMask: uint64(nsets - 1),
+		mshrs:   make([]mshr, cfg.MSHRs),
+	}
+	for cfg.LineBytes>>c.lineBits > 1 {
+		c.lineBits++
+	}
+	if nsets&(nsets-1) != 0 {
+		panic("cache: set count must be a power of two")
+	}
+	c.sets = make([][]line, nsets)
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Assoc)
+	}
+	return c
+}
+
+func (c *Cache) lineAddr(addr uint64) uint64 { return addr >> c.lineBits }
+
+func (c *Cache) lookup(la uint64) (*line, []line) {
+	set := c.sets[la&c.setMask]
+	tag := la // store the full line address as the tag; simple and exact
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return &set[i], set
+		}
+	}
+	return nil, set
+}
+
+// Access implements Level for demand and prefetch requests arriving at
+// this cache. The returned cycle includes this level's load-to-use
+// latency on a hit, or the full fill path on a miss.
+func (c *Cache) Access(addr uint64, cycle uint64, write, prefetch bool) uint64 {
+	la := c.lineAddr(addr)
+	c.clock++
+	if !prefetch {
+		c.Accesses++
+	}
+
+	hitLat := uint64(c.cfg.LoadToUse)
+	ln, set := c.lookup(la)
+	var ready uint64
+	hit := ln != nil
+
+	if hit {
+		ready = cycle + hitLat
+		// Hit under fill: if the line's fill is still in flight, data is
+		// not available before the fill returns.
+		for i := range c.mshrs {
+			if c.mshrs[i].valid && c.mshrs[i].tag == la && c.mshrs[i].ready > ready {
+				ready = c.mshrs[i].ready
+				break
+			}
+		}
+		if ln.prefetched && !prefetch {
+			c.PFUseful++
+			ln.prefetched = false
+		}
+		ln.lru = c.clock
+		if write {
+			ln.dirty = true
+		}
+	} else {
+		if !prefetch {
+			c.Misses++
+			if c.MissHook != nil {
+				c.MissHook(addr, write)
+			}
+		}
+		ready = c.fill(la, addr, cycle+hitLat, write, prefetch, set)
+	}
+
+	if c.pf != nil && !prefetch {
+		for _, pa := range c.pf.Observe(addr, 0, hit) {
+			c.Prefetch(pa, cycle)
+		}
+	}
+	return ready
+}
+
+// Prefetch issues a prefetch for addr into this cache.
+func (c *Cache) Prefetch(addr uint64, cycle uint64) {
+	la := c.lineAddr(addr)
+	if ln, _ := c.lookup(la); ln != nil {
+		return // already present
+	}
+	// Already in flight?
+	for i := range c.mshrs {
+		if c.mshrs[i].valid && c.mshrs[i].tag == la {
+			return
+		}
+	}
+	c.PFIssued++
+	_, set := c.lookup(la)
+	c.fillPrefetch(la, addr, cycle+uint64(c.cfg.LoadToUse), set)
+}
+
+// fill handles a demand miss: MSHR merge/allocate, request from next
+// level, victim writeback, line install.
+func (c *Cache) fill(la, addr, cycle uint64, write, prefetch bool, set []line) uint64 {
+	// MSHR merge: a fill for this line is already in flight.
+	for i := range c.mshrs {
+		if c.mshrs[i].valid && c.mshrs[i].tag == la {
+			r := c.mshrs[i].ready
+			if r < cycle {
+				r = cycle
+			}
+			if write {
+				if ln, _ := c.lookup(la); ln != nil {
+					ln.dirty = true
+				}
+			}
+			return r
+		}
+	}
+	// Allocate an MSHR; if all are busy, the request is delayed until the
+	// earliest one retires.
+	slot := -1
+	var earliest uint64 = ^uint64(0)
+	for i := range c.mshrs {
+		if !c.mshrs[i].valid || c.mshrs[i].ready <= cycle {
+			c.mshrs[i].valid = false
+			if slot < 0 {
+				slot = i
+			}
+		} else if c.mshrs[i].ready < earliest {
+			earliest = c.mshrs[i].ready
+		}
+	}
+	start := cycle
+	if slot < 0 {
+		c.MSHRConflict++
+		start = earliest
+		// Re-scan: the earliest MSHR frees at 'start'; reuse its slot.
+		for i := range c.mshrs {
+			if c.mshrs[i].valid && c.mshrs[i].ready == earliest {
+				slot = i
+				c.mshrs[i].valid = false
+				break
+			}
+		}
+	}
+
+	ready := c.next.Access(addr, start, false, prefetch)
+	c.mshrs[slot] = mshr{valid: true, tag: la, ready: ready}
+
+	c.install(la, set, write, prefetch, cycle)
+	return ready
+}
+
+func (c *Cache) fillPrefetch(la, addr, cycle uint64, set []line) {
+	slot := -1
+	for i := range c.mshrs {
+		if !c.mshrs[i].valid || c.mshrs[i].ready <= cycle {
+			c.mshrs[i].valid = false
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		return // no MSHR for a prefetch: drop it
+	}
+	ready := c.next.Access(addr, cycle, false, true)
+	c.mshrs[slot] = mshr{valid: true, tag: la, ready: ready}
+	ln := c.install(la, set, false, true, cycle)
+	ln.prefetched = true
+}
+
+// install victimizes the LRU way and installs the new line.
+func (c *Cache) install(la uint64, set []line, write, prefetch bool, cycle uint64) *line {
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	if set[victim].valid && set[victim].dirty {
+		c.Writebacks++
+		// Writebacks consume next-level bandwidth but nothing waits on
+		// them; charge the access without using the returned latency.
+		c.next.Access(set[victim].tag<<c.lineBits, cycle, true, false)
+	}
+	set[victim] = line{valid: true, dirty: write, tag: la, lru: c.clock}
+	if prefetch {
+		set[victim].prefetched = true
+	}
+	return &set[victim]
+}
+
+// Hierarchy bundles the full memory system of one core.
+type Hierarchy struct {
+	L1I, L1D, L2, L3 *Cache
+	Mem              *Memory
+}
+
+// NewHierarchy builds the Table 2 hierarchy with the given prefetchers
+// (either may be nil).
+func NewHierarchy(m *config.Machine, l1dPF, l2PF Prefetcher) *Hierarchy {
+	h := &Hierarchy{Mem: &Memory{Latency: uint64(m.MemLat)}}
+	h.L3 = New("L3", m.L3, h.Mem, nil)
+	h.L2 = New("L2", m.L2, h.L3, l2PF)
+	h.L1D = New("L1D", m.L1D, h.L2, l1dPF)
+	h.L1I = New("L1I", m.L1I, h.L2, nil)
+	return h
+}

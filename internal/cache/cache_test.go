@@ -1,0 +1,167 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/config"
+)
+
+func smallCfg(sizeKB, assoc, latency, mshrs int) config.CacheConfig {
+	return config.CacheConfig{SizeBytes: sizeKB << 10, Assoc: assoc, LineBytes: 64, LoadToUse: latency, MSHRs: mshrs}
+}
+
+func TestHitLatency(t *testing.T) {
+	mem := &Memory{Latency: 100}
+	c := New("L1", smallCfg(4, 4, 3, 8), mem, nil)
+	first := c.Access(0x1000, 10, false, false)
+	if first != 10+3+100 {
+		t.Errorf("cold miss ready at %d, want 113", first)
+	}
+	hit := c.Access(0x1000, 200, false, false)
+	if hit != 203 {
+		t.Errorf("hit ready at %d, want 203", hit)
+	}
+	if c.Accesses != 2 || c.Misses != 1 {
+		t.Errorf("counters: %d accesses, %d misses", c.Accesses, c.Misses)
+	}
+}
+
+func TestSameLineDifferentWords(t *testing.T) {
+	mem := &Memory{Latency: 100}
+	c := New("L1", smallCfg(4, 4, 3, 8), mem, nil)
+	c.Access(0x1000, 10, false, false)
+	if got := c.Access(0x1038, 200, false, false); got != 203 {
+		t.Errorf("same-line access ready at %d, want 203", got)
+	}
+}
+
+func TestMSHRMerge(t *testing.T) {
+	mem := &Memory{Latency: 100}
+	c := New("L1", smallCfg(4, 4, 3, 8), mem, nil)
+	r1 := c.Access(0x2000, 10, false, false)
+	// A second access to the same line while the fill is in flight must
+	// wait for the same fill, not start a new one.
+	r2 := c.Access(0x2008, 20, false, false)
+	if r2 != r1 {
+		t.Errorf("merged access ready at %d, want %d", r2, r1)
+	}
+	if mem.Accesses != 1 {
+		t.Errorf("memory saw %d accesses, want 1 (merged)", mem.Accesses)
+	}
+}
+
+func TestMSHRExhaustionDelays(t *testing.T) {
+	mem := &Memory{Latency: 100}
+	c := New("L1", smallCfg(64, 8, 3, 2), mem, nil) // only 2 MSHRs
+	r1 := c.Access(0x10000, 10, false, false)
+	c.Access(0x20000, 10, false, false)
+	r3 := c.Access(0x30000, 10, false, false)
+	if r3 <= r1 {
+		t.Errorf("third concurrent miss should be delayed past %d, got %d", r1, r3)
+	}
+	if c.MSHRConflict == 0 {
+		t.Error("MSHR conflict not recorded")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	mem := &Memory{Latency: 100}
+	// 2 sets × 2 ways.
+	c := New("L1", config.CacheConfig{SizeBytes: 256, Assoc: 2, LineBytes: 64, LoadToUse: 1, MSHRs: 8}, mem, nil)
+	// Three lines mapping to set 0 (line addresses 0, 2, 4).
+	c.Access(0*64, 10, false, false)
+	c.Access(2*64, 20, false, false)
+	c.Access(0*64, 30, false, false) // touch line 0: line 2 becomes LRU
+	c.Access(4*64, 40, false, false) // evicts line 2
+	m := c.Misses
+	c.Access(0*64, 50, false, false)
+	if c.Misses != m {
+		t.Error("line 0 should still be resident")
+	}
+	c.Access(2*64, 60, false, false)
+	if c.Misses != m+1 {
+		t.Error("line 2 should have been evicted")
+	}
+}
+
+func TestDirtyWriteback(t *testing.T) {
+	mem := &Memory{Latency: 100}
+	c := New("L1", config.CacheConfig{SizeBytes: 128, Assoc: 1, LineBytes: 64, LoadToUse: 1, MSHRs: 8}, mem, nil)
+	c.Access(0, 10, true, false) // dirty line in set 0
+	base := mem.Accesses
+	c.Access(128, 1000, false, false) // conflicts in set 0, evicts dirty
+	if c.Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", c.Writebacks)
+	}
+	if mem.Accesses != base+2 { // fill + writeback
+		t.Errorf("memory accesses = %d, want %d", mem.Accesses, base+2)
+	}
+}
+
+func TestHierarchyLatencyComposition(t *testing.T) {
+	m := config.Default()
+	h := NewHierarchy(m, nil, nil)
+	// Cold access composes L1D + L2 + L3 + DRAM latencies.
+	cold := h.L1D.Access(0x100000, 0, false, false)
+	want := uint64(m.L1D.LoadToUse + m.L2.LoadToUse + m.L3.LoadToUse + m.MemLat)
+	if cold != want {
+		t.Errorf("cold latency = %d, want %d", cold, want)
+	}
+	// L2 hit after L1 eviction: evict by filling the L1 set.
+	stride := uint64(m.L1D.SizeBytes / m.L1D.Assoc)
+	for i := 1; i <= m.L1D.Assoc+1; i++ {
+		h.L1D.Access(0x100000+uint64(i)*stride, 10000, false, false)
+	}
+	l2hit := h.L1D.Access(0x100000, 200000, false, false)
+	if l2hit != 200000+uint64(m.L1D.LoadToUse+m.L2.LoadToUse) {
+		t.Errorf("L2 hit latency = %d", l2hit-200000)
+	}
+}
+
+func TestRetention(t *testing.T) {
+	m := config.Default()
+	h := NewHierarchy(m, nil, nil)
+	cycle := uint64(0)
+	for pass := 0; pass < 2; pass++ {
+		m2 := h.L2.Misses
+		for i := 0; i < 3000; i++ {
+			cycle += 50
+			h.L1D.Access(0x1000000+uint64(i)*64, cycle, false, false)
+		}
+		if pass == 1 && h.L2.Misses != m2 {
+			t.Errorf("second pass missed L2 %d times; working set should be resident", h.L2.Misses-m2)
+		}
+	}
+}
+
+type pfStub struct{ out []uint64 }
+
+func (p *pfStub) Observe(addr, pc uint64, hit bool) []uint64 { return p.out }
+
+func TestPrefetchInstallsAndCredits(t *testing.T) {
+	mem := &Memory{Latency: 100}
+	c := New("L1", smallCfg(16, 4, 3, 8), mem, nil)
+	c.pf = &pfStub{out: []uint64{0x5000}}
+	c.Access(0x4000, 10, false, false) // triggers prefetch of 0x5000
+	if c.PFIssued != 1 {
+		t.Fatalf("prefetches issued = %d", c.PFIssued)
+	}
+	c.pf = nil
+	m := c.Misses
+	c.Access(0x5000, 5000, false, false)
+	if c.Misses != m {
+		t.Error("prefetched line should hit")
+	}
+	if c.PFUseful != 1 {
+		t.Errorf("useful prefetches = %d, want 1", c.PFUseful)
+	}
+}
+
+func TestPrefetchDoesNotCountDemand(t *testing.T) {
+	mem := &Memory{Latency: 100}
+	c := New("L1", smallCfg(16, 4, 3, 8), mem, nil)
+	c.Prefetch(0x9000, 10)
+	if c.Accesses != 0 || c.Misses != 0 {
+		t.Error("prefetches must not count as demand accesses/misses")
+	}
+}

@@ -1,0 +1,56 @@
+// Package core assembles the paper's contribution into runnable machines.
+//
+// The contribution itself is spread across three mechanism packages —
+// deliberately, because that is where the paper places the hardware:
+//
+//   - internal/vp: the VTAGE value predictor with the MVP/TVP/GVP
+//     targeting policies, FPC confidence, and misprediction silencing
+//     (§3.1–§3.4).
+//   - internal/rename: hardwired 0/1 registers, 9-bit register-name
+//     inlining, the committed/speculative RAT machinery, and the
+//     Speculative Strength Reduction decision engine of Table 1 (§3.2,
+//     §4).
+//   - internal/pipeline: prediction use at rename, in-place validation at
+//     the functional units, flush-including-the-predicted-instruction
+//     recovery, and the VP-tracking FIFO training at retire (§3.3–§3.5).
+//
+// This package provides the canonical configurations the evaluation uses
+// and is the programmatic entry point examples build on (the root package
+// tvp wraps it for end users).
+package core
+
+import (
+	"repro/internal/config"
+	"repro/internal/pipeline"
+	"repro/internal/prog"
+)
+
+// Baseline returns the paper's evaluation baseline: Table 2 with move
+// elimination and 0/1-idiom elimination, no value prediction, no SpSR.
+func Baseline() *config.Machine { return config.Default() }
+
+// Machine returns a Table 2 machine configured with the given value
+// prediction flavor and SpSR setting. TVP and GVP imply 9-bit signed
+// idiom elimination, which shares the register inlining hardware.
+func Machine(mode config.VPMode, spsr bool) *config.Machine {
+	return config.Default().WithVP(mode).WithSpSR(spsr)
+}
+
+// EvaluationConfigs returns the six non-baseline configurations of the
+// paper's Fig. 6 in figure order.
+func EvaluationConfigs() []*config.Machine {
+	return []*config.Machine{
+		Machine(config.MVP, false),
+		Machine(config.MVP, true),
+		Machine(config.TVP, false),
+		Machine(config.TVP, true),
+		Machine(config.GVP, false),
+		Machine(config.GVP, true),
+	}
+}
+
+// NewCore instantiates a simulated core running the program under the
+// machine configuration.
+func NewCore(m *config.Machine, p *prog.Program) *pipeline.Core {
+	return pipeline.New(m, p)
+}

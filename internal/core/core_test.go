@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/workload"
+)
+
+func TestEvaluationConfigs(t *testing.T) {
+	cfgs := EvaluationConfigs()
+	if len(cfgs) != 6 {
+		t.Fatalf("%d configs, want Fig. 6's six", len(cfgs))
+	}
+	wantModes := []config.VPMode{config.MVP, config.MVP, config.TVP, config.TVP, config.GVP, config.GVP}
+	for i, c := range cfgs {
+		if err := c.Validate(); err != nil {
+			t.Errorf("config %d invalid: %v", i, err)
+		}
+		if c.VP.Mode != wantModes[i] {
+			t.Errorf("config %d mode %v, want %v", i, c.VP.Mode, wantModes[i])
+		}
+		if c.SpSR != (i%2 == 1) {
+			t.Errorf("config %d SpSR %v", i, c.SpSR)
+		}
+	}
+}
+
+func TestNewCoreRuns(t *testing.T) {
+	s, err := workload.Get("648_exchange2_s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := NewCore(Machine(config.TVP, true), s.Build()).Run(1000, 15000)
+	if res.Stats.IPC() <= 0 {
+		t.Fatal("no progress")
+	}
+}
+
+func TestBaselineHasNoVP(t *testing.T) {
+	b := Baseline()
+	if b.VP.Mode != config.VPOff || b.SpSR || b.NineBitIdiom {
+		t.Error("baseline must have VP and SpSR off")
+	}
+	if !b.MoveElim || !b.ZeroOneIdiom {
+		t.Error("baseline must keep move and 0/1-idiom elimination (§5)")
+	}
+}

@@ -1,0 +1,65 @@
+package emu
+
+import (
+	"repro/internal/isa"
+)
+
+// DynInst is one dynamically executed architectural instruction: the
+// static instruction plus everything the timing model needs from functional
+// execution — the computed result, effective address, branch outcome and
+// flag values. The timing model never recomputes semantics; it consumes
+// these records in program order (with rewind on pipeline flushes).
+type DynInst struct {
+	// Seq is the global dynamic sequence number (0-based, in retirement
+	// order of the functional stream).
+	Seq uint64
+	// Index is the static instruction index within the program text.
+	Index int
+	// PC is the byte address of the instruction.
+	PC uint64
+	// Inst points at the static instruction (owned by the Program; do not
+	// mutate).
+	Inst *isa.Inst
+
+	// Result is the value written to the primary destination register
+	// (integer or raw FP bits), if the instruction writes one.
+	Result uint64
+	// BaseResult is the updated base register value for pre/post-index
+	// loads and stores (the BaseUpdate µop's result).
+	BaseResult uint64
+	// StoreData is the value a store writes to memory.
+	StoreData uint64
+	// EA is the effective address of a memory access.
+	EA uint64
+
+	// Taken reports the direction of a branch (always true for
+	// unconditional branches).
+	Taken bool
+	// NextPC is the address of the next instruction in program order of
+	// execution (fall-through or branch target).
+	NextPC uint64
+
+	// FlagsIn/FlagsOut are the NZCV values before and after execution.
+	FlagsIn, FlagsOut isa.Flags
+}
+
+// WritesGPRResult reports whether Result is an integer register value
+// (i.e. the primary destination is a GPR that is actually written).
+func (d *DynInst) WritesGPRResult() bool {
+	in := d.Inst
+	if in.Op == isa.BL {
+		return true
+	}
+	if isa.IsFP(in.Op) {
+		return false
+	}
+	switch in.Op {
+	case isa.LDR, isa.FCVTZS,
+		isa.ADD, isa.ADDS, isa.SUB, isa.SUBS, isa.AND, isa.ANDS,
+		isa.ORR, isa.EOR, isa.BIC, isa.LSL, isa.LSR, isa.ASR,
+		isa.UBFM, isa.RBIT, isa.MUL, isa.SDIV, isa.UDIV,
+		isa.MOVZ, isa.MOVK, isa.MOVN, isa.CSEL, isa.CSINC, isa.CSNEG:
+		return in.Rd != isa.XZR
+	}
+	return false
+}

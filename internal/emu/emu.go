@@ -1,0 +1,488 @@
+package emu
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// Emulator executes a Program functionally, one architectural instruction
+// per Step, producing DynInst records in program order.
+type Emulator struct {
+	Prog *prog.Program
+	Mem  *Memory
+
+	X     [isa.NumRegs]uint64 // X31 (XZR) is kept at zero
+	D     [32]uint64          // FP registers as raw float64 bits
+	Flags isa.Flags
+
+	pcIdx  int // index of the next instruction to execute
+	seq    uint64
+	halted bool
+}
+
+// New loads the program (text implicitly, data segments explicitly) and
+// returns an emulator positioned at the first instruction. X29 is
+// initialized to the stack top per the platform convention.
+func New(p *prog.Program) *Emulator {
+	e := &Emulator{Prog: p, Mem: NewMemory()}
+	for _, s := range p.Data {
+		e.Mem.LoadSegment(s.Base, s.Bytes)
+	}
+	e.X[isa.X29] = prog.StackTop
+	return e
+}
+
+// Halted reports whether the program has executed HALT.
+func (e *Emulator) Halted() bool { return e.halted }
+
+// Executed returns the number of instructions executed so far.
+func (e *Emulator) Executed() uint64 { return e.seq }
+
+// PC returns the byte address of the next instruction.
+func (e *Emulator) PC() uint64 { return prog.PC(e.pcIdx) }
+
+func (e *Emulator) reg(r isa.Reg) uint64 {
+	if r == isa.XZR {
+		return 0
+	}
+	return e.X[r]
+}
+
+func (e *Emulator) regW(r isa.Reg, w bool) uint64 {
+	v := e.reg(r)
+	if w {
+		v = uint64(uint32(v))
+	}
+	return v
+}
+
+func (e *Emulator) setReg(r isa.Reg, v uint64, w bool) uint64 {
+	if w {
+		v = uint64(uint32(v))
+	}
+	if r != isa.XZR {
+		e.X[r] = v
+	}
+	return v
+}
+
+func (e *Emulator) float(r isa.Reg) float64 { return math.Float64frombits(e.D[r]) }
+
+func (e *Emulator) setFloat(r isa.Reg, f float64) uint64 {
+	v := math.Float64bits(f)
+	e.D[r] = v
+	return v
+}
+
+// op2 resolves the second operand of a two-source ALU instruction.
+func (e *Emulator) op2(in *isa.Inst) uint64 {
+	if in.UseImm {
+		v := uint64(in.Imm)
+		if in.W {
+			v = uint64(uint32(v))
+		}
+		return v
+	}
+	return e.regW(in.Rm, in.W)
+}
+
+func addFlags(a, b uint64, w bool) (sum uint64, f isa.Flags) {
+	if w {
+		a32, b32 := uint32(a), uint32(b)
+		s := a32 + b32
+		sum = uint64(s)
+		if int32(s) < 0 {
+			f |= isa.FlagN
+		}
+		if s == 0 {
+			f |= isa.FlagZ
+		}
+		if uint64(a32)+uint64(b32) > math.MaxUint32 {
+			f |= isa.FlagC
+		}
+		if (int32(a32) >= 0) == (int32(b32) >= 0) && (int32(s) >= 0) != (int32(a32) >= 0) {
+			f |= isa.FlagV
+		}
+		return
+	}
+	s := a + b
+	sum = s
+	if int64(s) < 0 {
+		f |= isa.FlagN
+	}
+	if s == 0 {
+		f |= isa.FlagZ
+	}
+	if s < a {
+		f |= isa.FlagC
+	}
+	if (int64(a) >= 0) == (int64(b) >= 0) && (int64(s) >= 0) != (int64(a) >= 0) {
+		f |= isa.FlagV
+	}
+	return
+}
+
+func subFlags(a, b uint64, w bool) (diff uint64, f isa.Flags) {
+	if w {
+		a32, b32 := uint32(a), uint32(b)
+		d := a32 - b32
+		diff = uint64(d)
+		if int32(d) < 0 {
+			f |= isa.FlagN
+		}
+		if d == 0 {
+			f |= isa.FlagZ
+		}
+		if a32 >= b32 { // no borrow
+			f |= isa.FlagC
+		}
+		if (int32(a32) >= 0) != (int32(b32) >= 0) && (int32(d) >= 0) != (int32(a32) >= 0) {
+			f |= isa.FlagV
+		}
+		return
+	}
+	d := a - b
+	diff = d
+	if int64(d) < 0 {
+		f |= isa.FlagN
+	}
+	if d == 0 {
+		f |= isa.FlagZ
+	}
+	if a >= b {
+		f |= isa.FlagC
+	}
+	if (int64(a) >= 0) != (int64(b) >= 0) && (int64(d) >= 0) != (int64(a) >= 0) {
+		f |= isa.FlagV
+	}
+	return
+}
+
+func logicFlags(res uint64, w bool) (f isa.Flags) {
+	if w {
+		if int32(uint32(res)) < 0 {
+			f |= isa.FlagN
+		}
+		if uint32(res) == 0 {
+			f |= isa.FlagZ
+		}
+		return
+	}
+	if int64(res) < 0 {
+		f |= isa.FlagN
+	}
+	if res == 0 {
+		f |= isa.FlagZ
+	}
+	return
+}
+
+// ea computes the effective address and the base-update value of a memory
+// instruction.
+func (e *Emulator) ea(in *isa.Inst) (ea, baseUpdate uint64) {
+	base := e.reg(in.Rn)
+	switch in.Mode {
+	case isa.AddrOff:
+		return base + uint64(in.Imm), 0
+	case isa.AddrReg:
+		return base + e.reg(in.Rm)<<uint(in.Imm2), 0
+	case isa.AddrPre:
+		nb := base + uint64(in.Imm)
+		return nb, nb
+	case isa.AddrPost:
+		return base, base + uint64(in.Imm)
+	}
+	panic("emu: bad addressing mode")
+}
+
+// Step executes the next instruction and fills d with its dynamic record.
+// It returns false when the program has halted (d is then invalid).
+func (e *Emulator) Step(d *DynInst) bool {
+	if e.halted {
+		return false
+	}
+	if e.pcIdx < 0 || e.pcIdx >= len(e.Prog.Code) {
+		panic(fmt.Sprintf("emu: PC out of text: index %d (len %d)", e.pcIdx, len(e.Prog.Code)))
+	}
+	in := &e.Prog.Code[e.pcIdx]
+
+	*d = DynInst{
+		Seq:     e.seq,
+		Index:   e.pcIdx,
+		PC:      prog.PC(e.pcIdx),
+		Inst:    in,
+		FlagsIn: e.Flags,
+	}
+	e.seq++
+
+	nextIdx := e.pcIdx + 1
+	w := in.W
+
+	switch in.Op {
+	case isa.NOP:
+	case isa.HALT:
+		e.halted = true
+		d.NextPC = d.PC
+		d.FlagsOut = e.Flags
+		return true
+
+	case isa.ADD:
+		d.Result = e.setReg(in.Rd, e.regW(in.Rn, w)+e.op2(in), w)
+	case isa.ADDS:
+		sum, f := addFlags(e.regW(in.Rn, w), e.op2(in), w)
+		d.Result = e.setReg(in.Rd, sum, w)
+		e.Flags = f
+	case isa.SUB:
+		d.Result = e.setReg(in.Rd, e.regW(in.Rn, w)-e.op2(in), w)
+	case isa.SUBS:
+		diff, f := subFlags(e.regW(in.Rn, w), e.op2(in), w)
+		d.Result = e.setReg(in.Rd, diff, w)
+		e.Flags = f
+	case isa.AND:
+		d.Result = e.setReg(in.Rd, e.regW(in.Rn, w)&e.op2(in), w)
+	case isa.ANDS:
+		res := e.regW(in.Rn, w) & e.op2(in)
+		d.Result = e.setReg(in.Rd, res, w)
+		e.Flags = logicFlags(res, w)
+	case isa.ORR:
+		d.Result = e.setReg(in.Rd, e.regW(in.Rn, w)|e.op2(in), w)
+	case isa.EOR:
+		d.Result = e.setReg(in.Rd, e.regW(in.Rn, w)^e.op2(in), w)
+	case isa.BIC:
+		d.Result = e.setReg(in.Rd, e.regW(in.Rn, w)&^e.op2(in), w)
+	case isa.LSL:
+		sh := e.op2(in) & 63
+		d.Result = e.setReg(in.Rd, e.regW(in.Rn, w)<<sh, w)
+	case isa.LSR:
+		sh := e.op2(in) & 63
+		d.Result = e.setReg(in.Rd, e.regW(in.Rn, w)>>sh, w)
+	case isa.ASR:
+		sh := e.op2(in) & 63
+		v := e.regW(in.Rn, w)
+		if w {
+			d.Result = e.setReg(in.Rd, uint64(int32(uint32(v))>>sh), w)
+		} else {
+			d.Result = e.setReg(in.Rd, uint64(int64(v)>>sh), w)
+		}
+	case isa.UBFM:
+		// Simplified bitfield extract: Rd = (Rn >> Immr) & mask(Imms+1).
+		v := e.regW(in.Rn, w) >> uint(in.Imm&63)
+		width := uint(in.Imm2 + 1)
+		if width < 64 {
+			v &= (1 << width) - 1
+		}
+		d.Result = e.setReg(in.Rd, v, w)
+	case isa.RBIT:
+		v := bits.Reverse64(e.regW(in.Rn, w))
+		if w {
+			v >>= 32
+		}
+		d.Result = e.setReg(in.Rd, v, w)
+	case isa.MUL:
+		d.Result = e.setReg(in.Rd, e.regW(in.Rn, w)*e.regW(in.Rm, w), w)
+	case isa.SDIV:
+		nv, dv := int64(e.regW(in.Rn, w)), int64(e.regW(in.Rm, w))
+		if w {
+			nv, dv = int64(int32(uint32(nv))), int64(int32(uint32(dv)))
+		}
+		var q int64
+		if dv != 0 {
+			q = nv / dv
+		}
+		d.Result = e.setReg(in.Rd, uint64(q), w)
+	case isa.UDIV:
+		nv, dv := e.regW(in.Rn, w), e.regW(in.Rm, w)
+		var q uint64
+		if dv != 0 {
+			q = nv / dv
+		}
+		d.Result = e.setReg(in.Rd, q, w)
+
+	case isa.MOVZ:
+		d.Result = e.setReg(in.Rd, uint64(uint16(in.Imm))<<(16*uint(in.Imm2)), w)
+	case isa.MOVK:
+		old := e.reg(in.Rd)
+		sh := 16 * uint(in.Imm2)
+		v := old&^(uint64(0xffff)<<sh) | uint64(uint16(in.Imm))<<sh
+		d.Result = e.setReg(in.Rd, v, w)
+	case isa.MOVN:
+		d.Result = e.setReg(in.Rd, ^(uint64(uint16(in.Imm)) << (16 * uint(in.Imm2))), w)
+
+	case isa.CSEL:
+		var v uint64
+		if in.Cond.Holds(e.Flags) {
+			v = e.regW(in.Rn, w)
+		} else {
+			v = e.regW(in.Rm, w)
+		}
+		d.Result = e.setReg(in.Rd, v, w)
+	case isa.CSINC:
+		var v uint64
+		if in.Cond.Holds(e.Flags) {
+			v = e.regW(in.Rn, w)
+		} else {
+			v = e.regW(in.Rm, w) + 1
+		}
+		d.Result = e.setReg(in.Rd, v, w)
+	case isa.CSNEG:
+		var v uint64
+		if in.Cond.Holds(e.Flags) {
+			v = e.regW(in.Rn, w)
+		} else {
+			v = -e.regW(in.Rm, w)
+		}
+		d.Result = e.setReg(in.Rd, v, w)
+
+	case isa.LDR:
+		ea, bu := e.ea(in)
+		d.EA, d.BaseResult = ea, bu
+		v := e.Mem.Read(ea, in.Size)
+		d.Result = e.setReg(in.Rd, v, w)
+		if in.Mode == isa.AddrPre || in.Mode == isa.AddrPost {
+			e.setReg(in.Rn, bu, false)
+		}
+	case isa.STR:
+		ea, bu := e.ea(in)
+		d.EA, d.BaseResult = ea, bu
+		d.StoreData = e.regW(in.Rd, w)
+		e.Mem.Write(ea, d.StoreData, in.Size)
+		if in.Mode == isa.AddrPre || in.Mode == isa.AddrPost {
+			e.setReg(in.Rn, bu, false)
+		}
+	case isa.FLDR:
+		ea, bu := e.ea(in)
+		d.EA, d.BaseResult = ea, bu
+		v := e.Mem.Read(ea, 8)
+		e.D[in.Rd] = v
+		d.Result = v
+		if in.Mode == isa.AddrPre || in.Mode == isa.AddrPost {
+			e.setReg(in.Rn, bu, false)
+		}
+	case isa.FSTR:
+		ea, bu := e.ea(in)
+		d.EA, d.BaseResult = ea, bu
+		d.StoreData = e.D[in.Rd]
+		e.Mem.Write(ea, d.StoreData, 8)
+		if in.Mode == isa.AddrPre || in.Mode == isa.AddrPost {
+			e.setReg(in.Rn, bu, false)
+		}
+
+	case isa.B:
+		d.Taken = true
+		nextIdx = in.Target
+	case isa.BCOND:
+		if in.Cond.Holds(e.Flags) {
+			d.Taken = true
+			nextIdx = in.Target
+		}
+	case isa.CBZ:
+		if e.regW(in.Rn, w) == 0 {
+			d.Taken = true
+			nextIdx = in.Target
+		}
+	case isa.CBNZ:
+		if e.regW(in.Rn, w) != 0 {
+			d.Taken = true
+			nextIdx = in.Target
+		}
+	case isa.TBZ:
+		if e.reg(in.Rn)>>(uint(in.Imm)&63)&1 == 0 {
+			d.Taken = true
+			nextIdx = in.Target
+		}
+	case isa.TBNZ:
+		if e.reg(in.Rn)>>(uint(in.Imm)&63)&1 == 1 {
+			d.Taken = true
+			nextIdx = in.Target
+		}
+	case isa.BL:
+		ret := prog.PC(e.pcIdx + 1)
+		d.Result = e.setReg(isa.LR, ret, false)
+		d.Taken = true
+		nextIdx = in.Target
+	case isa.RET, isa.BR:
+		tgt := e.reg(in.Rn)
+		idx := prog.Index(tgt, len(e.Prog.Code))
+		if idx < 0 {
+			panic(fmt.Sprintf("emu: indirect branch to non-text address %#x at pc %#x", tgt, d.PC))
+		}
+		d.Taken = true
+		nextIdx = idx
+
+	case isa.FADD:
+		d.Result = e.setFloat(in.Rd, e.float(in.Rn)+e.float(in.Rm))
+	case isa.FSUB:
+		d.Result = e.setFloat(in.Rd, e.float(in.Rn)-e.float(in.Rm))
+	case isa.FMUL:
+		d.Result = e.setFloat(in.Rd, e.float(in.Rn)*e.float(in.Rm))
+	case isa.FDIV:
+		d.Result = e.setFloat(in.Rd, e.float(in.Rn)/e.float(in.Rm))
+	case isa.FMADD:
+		d.Result = e.setFloat(in.Rd, e.float(in.Rn)*e.float(in.Rm)+e.float(in.Ra))
+	case isa.FNEG:
+		d.Result = e.setFloat(in.Rd, -e.float(in.Rn))
+	case isa.FABS:
+		d.Result = e.setFloat(in.Rd, math.Abs(e.float(in.Rn)))
+	case isa.FMOV:
+		e.D[in.Rd] = e.D[in.Rn]
+		d.Result = e.D[in.Rd]
+	case isa.SCVTF:
+		d.Result = e.setFloat(in.Rd, float64(int64(e.reg(in.Rn))))
+	case isa.FCVTZS:
+		f := e.float(in.Rn)
+		var v int64
+		if !math.IsNaN(f) {
+			switch {
+			case f >= math.MaxInt64:
+				v = math.MaxInt64
+			case f <= math.MinInt64:
+				v = math.MinInt64
+			default:
+				v = int64(f)
+			}
+		}
+		d.Result = e.setReg(in.Rd, uint64(v), w)
+	case isa.FCMP:
+		a, b := e.float(in.Rn), e.float(in.Rm)
+		switch {
+		case math.IsNaN(a) || math.IsNaN(b):
+			e.Flags = isa.FlagC | isa.FlagV
+		case a == b:
+			e.Flags = isa.FlagZ | isa.FlagC
+		case a < b:
+			e.Flags = isa.FlagN
+		default:
+			e.Flags = isa.FlagC
+		}
+
+	default:
+		panic(fmt.Sprintf("emu: unimplemented op %v", in.Op))
+	}
+
+	e.pcIdx = nextIdx
+	d.NextPC = prog.PC(nextIdx)
+	d.FlagsOut = e.Flags
+	return true
+}
+
+// Run executes up to max instructions (or to HALT if max <= 0), calling
+// visit for each dynamic instruction if visit is non-nil. It returns the
+// number executed.
+func (e *Emulator) Run(max uint64, visit func(*DynInst)) uint64 {
+	var d DynInst
+	var n uint64
+	for max <= 0 || n < max {
+		if !e.Step(&d) {
+			break
+		}
+		n++
+		if visit != nil {
+			visit(&d)
+		}
+	}
+	return n
+}

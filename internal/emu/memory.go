@@ -1,0 +1,112 @@
+// Package emu implements the functional emulator for the micro-ISA: a
+// sparse paged memory, architectural register state, and an interpreter
+// that executes programs and produces the dynamic instruction stream the
+// timing model consumes. Functional execution is exact — every value a
+// value predictor sees, predicts, and validates in the timing model is the
+// architecturally computed one.
+package emu
+
+import "encoding/binary"
+
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+// Memory is a sparse, paged, little-endian byte-addressable memory.
+// Unmapped reads return zero; writes allocate pages on demand.
+type Memory struct {
+	pages map[uint64]*[pageSize]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*[pageSize]byte)}
+}
+
+func (m *Memory) page(addr uint64, alloc bool) *[pageSize]byte {
+	pn := addr >> pageShift
+	p := m.pages[pn]
+	if p == nil && alloc {
+		p = new([pageSize]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// LoadByte returns the byte at addr.
+func (m *Memory) LoadByte(addr uint64) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+// StoreByte stores b at addr.
+func (m *Memory) StoreByte(addr uint64, b byte) {
+	m.page(addr, true)[addr&pageMask] = b
+}
+
+// Read returns the little-endian unsigned value of the given size (1, 2, 4
+// or 8 bytes) at addr. Accesses may straddle page boundaries.
+func (m *Memory) Read(addr uint64, size uint8) uint64 {
+	if addr&pageMask <= pageSize-uint64(size) {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		off := addr & pageMask
+		switch size {
+		case 1:
+			return uint64(p[off])
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(p[off:]))
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(p[off:]))
+		case 8:
+			return binary.LittleEndian.Uint64(p[off:])
+		}
+	}
+	var v uint64
+	for i := uint8(0); i < size; i++ {
+		v |= uint64(m.LoadByte(addr+uint64(i))) << (8 * i)
+	}
+	return v
+}
+
+// Write stores the low size bytes of v at addr, little-endian.
+func (m *Memory) Write(addr uint64, v uint64, size uint8) {
+	if addr&pageMask <= pageSize-uint64(size) {
+		p := m.page(addr, true)
+		off := addr & pageMask
+		switch size {
+		case 1:
+			p[off] = byte(v)
+			return
+		case 2:
+			binary.LittleEndian.PutUint16(p[off:], uint16(v))
+			return
+		case 4:
+			binary.LittleEndian.PutUint32(p[off:], uint32(v))
+			return
+		case 8:
+			binary.LittleEndian.PutUint64(p[off:], v)
+			return
+		}
+	}
+	for i := uint8(0); i < size; i++ {
+		m.StoreByte(addr+uint64(i), byte(v>>(8*i)))
+	}
+}
+
+// LoadSegment copies bytes into memory starting at base.
+func (m *Memory) LoadSegment(base uint64, data []byte) {
+	for i, b := range data {
+		m.StoreByte(base+uint64(i), b)
+	}
+}
+
+// PageCount returns the number of mapped 4KB pages (the resident footprint).
+func (m *Memory) PageCount() int { return len(m.pages) }

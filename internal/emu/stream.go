@@ -1,0 +1,84 @@
+package emu
+
+import "fmt"
+
+// Stream adapts an Emulator into a rewindable dynamic instruction stream
+// for the timing model. The timing model's fetch stage pulls records with
+// Next; a pipeline flush rewinds the cursor to the squashed instruction's
+// sequence number so it is delivered again (re-fetched), which is exactly
+// the semantics §3.4 of the paper requires for MVP/TVP value
+// mispredictions (the mispredicted instruction itself must be refetched
+// and renamed again).
+//
+// Generated records are retained in a ring buffer; a rewind must not go
+// further back than the ring capacity, which the pipeline guarantees
+// because it never rewinds past the oldest non-committed instruction and
+// the ring is sized well above the instruction window.
+type Stream struct {
+	emu    *Emulator
+	ring   []DynInst
+	head   uint64 // sequence number of the next record to generate
+	cursor uint64 // sequence number of the next record to deliver
+	done   bool   // emulator has halted; head is the final count
+}
+
+// DefaultStreamCapacity comfortably exceeds the maximum number of
+// instructions that can be in flight (ROB + fetch/decode buffers).
+const DefaultStreamCapacity = 4096
+
+// NewStream returns a stream over the emulator with the given ring
+// capacity (DefaultStreamCapacity if cap <= 0).
+func NewStream(e *Emulator, capacity int) *Stream {
+	if capacity <= 0 {
+		capacity = DefaultStreamCapacity
+	}
+	return &Stream{emu: e, ring: make([]DynInst, capacity)}
+}
+
+// Cursor returns the sequence number of the next record Next will deliver.
+func (s *Stream) Cursor() uint64 { return s.cursor }
+
+// Next returns the record at the cursor and advances it, or nil when the
+// program has ended. The returned pointer is valid until the record falls
+// out of the ring (i.e. at least ring-capacity deliveries).
+func (s *Stream) Next() *DynInst {
+	d := s.Peek()
+	if d != nil {
+		s.cursor++
+	}
+	return d
+}
+
+// Peek returns the record at the cursor without advancing, or nil at end
+// of program.
+func (s *Stream) Peek() *DynInst {
+	for s.cursor >= s.head {
+		if s.done {
+			return nil
+		}
+		slot := &s.ring[s.head%uint64(len(s.ring))]
+		if !s.emu.Step(slot) {
+			s.done = true
+			return nil
+		}
+		s.head++
+	}
+	return &s.ring[s.cursor%uint64(len(s.ring))]
+}
+
+// Rewind moves the cursor back to seq, so the instruction with that
+// sequence number is the next one delivered. It panics if seq has fallen
+// out of the ring or lies in the future.
+func (s *Stream) Rewind(seq uint64) {
+	if seq > s.cursor {
+		panic(fmt.Sprintf("emu: rewind forward (seq %d > cursor %d)", seq, s.cursor))
+	}
+	if s.head > uint64(len(s.ring)) && seq < s.head-uint64(len(s.ring)) {
+		panic(fmt.Sprintf("emu: rewind past ring capacity (seq %d, oldest %d)", seq, s.head-uint64(len(s.ring))))
+	}
+	s.cursor = seq
+}
+
+// Done reports whether the underlying program has halted and all records
+// have been generated.
+func (s *Stream) Done() bool { return s.done && s.cursor >= s.head }

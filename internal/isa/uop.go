@@ -1,0 +1,43 @@
+package isa
+
+// UOpKind labels the role a µop plays within its parent architectural
+// instruction. Most instructions decode to a single Main µop; loads and
+// stores with pre/post-index addressing additionally emit a BaseUpdate µop
+// that performs the base register increment on the integer ALU, which is
+// the dominant source of the µop expansion ratio the paper reports in
+// Fig. 2.
+type UOpKind uint8
+
+const (
+	// UOpMain is the µop that carries the instruction's primary semantics.
+	UOpMain UOpKind = iota
+	// UOpBaseUpdate is the address-increment µop of a pre/post-index
+	// load or store: Rn = Rn + Imm on the integer ALU.
+	UOpBaseUpdate
+)
+
+// UOpTemplate describes one µop produced by decoding an instruction.
+type UOpTemplate struct {
+	Kind  UOpKind
+	Class Class
+}
+
+// CrackCount returns the number of µops the instruction decodes into.
+func CrackCount(in *Inst) int {
+	if IsMem(in.Op) && (in.Mode == AddrPre || in.Mode == AddrPost) {
+		return 2
+	}
+	return 1
+}
+
+// Crack appends the µop templates for the instruction to dst and returns
+// the extended slice. The Main µop always comes first so that the timing
+// model's per-instruction bookkeeping (value prediction, branch
+// resolution) can attach to µop index 0.
+func Crack(in *Inst, dst []UOpTemplate) []UOpTemplate {
+	dst = append(dst, UOpTemplate{Kind: UOpMain, Class: OpClass(in.Op)})
+	if IsMem(in.Op) && (in.Mode == AddrPre || in.Mode == AddrPost) {
+		dst = append(dst, UOpTemplate{Kind: UOpBaseUpdate, Class: ClassIntALU})
+	}
+	return dst
+}

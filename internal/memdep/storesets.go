@@ -1,0 +1,120 @@
+// Package memdep implements Store Sets memory dependence prediction
+// (Chrysos & Emer, ISCA 1998) with the paper's 2k-entry SSIT and 2k-entry
+// LFST (Table 2). Loads that have historically conflicted with a store are
+// forced to wait for that store's address before issuing; violations merge
+// the load and store into a common store set.
+package memdep
+
+// Invalid marks an unassigned store set.
+const invalidSet = ^uint32(0)
+
+// StoreSets is the SSIT/LFST predictor pair.
+type StoreSets struct {
+	ssit []uint32 // PC hash → store set ID
+	lfst []lfstEntry
+	next uint32 // next store set ID to hand out
+
+	// Stats.
+	Violations uint64 // ordering violations observed (training events)
+	Stalled    uint64 // loads made to wait on a store
+}
+
+type lfstEntry struct {
+	valid bool
+	seq   uint64 // dynamic sequence number of the last fetched store
+}
+
+// New returns a predictor with the given SSIT and LFST sizes (rounded down
+// to powers of two).
+func New(ssitEntries, lfstEntries int) *StoreSets {
+	rnd := func(n int) int {
+		for n&(n-1) != 0 {
+			n &= n - 1
+		}
+		if n == 0 {
+			n = 1
+		}
+		return n
+	}
+	s := &StoreSets{
+		ssit: make([]uint32, rnd(ssitEntries)),
+		lfst: make([]lfstEntry, rnd(lfstEntries)),
+	}
+	for i := range s.ssit {
+		s.ssit[i] = invalidSet
+	}
+	return s
+}
+
+func (s *StoreSets) ssitIdx(pc uint64) int { return int(pc >> 2 & uint64(len(s.ssit)-1)) }
+
+func (s *StoreSets) lfstIdx(set uint32) int { return int(set & uint32(len(s.lfst)-1)) }
+
+// RenameStore is called when a store is renamed: it records the store as
+// the last fetched store of its set (if it has one) and returns the
+// sequence number of the previous store in the set, preserving store-store
+// ordering within a set as the original proposal requires. ok is false
+// when the store is in no set.
+func (s *StoreSets) RenameStore(pc, seq uint64) (prevSeq uint64, ok bool) {
+	set := s.ssit[s.ssitIdx(pc)]
+	if set == invalidSet {
+		return 0, false
+	}
+	e := &s.lfst[s.lfstIdx(set)]
+	prevSeq, ok = e.seq, e.valid
+	e.valid = true
+	e.seq = seq
+	return prevSeq, ok
+}
+
+// RenameLoad is called when a load is renamed; if the load belongs to a
+// store set with a live store, it returns that store's sequence number:
+// the load must not issue before the store has executed.
+func (s *StoreSets) RenameLoad(pc uint64) (storeSeq uint64, ok bool) {
+	set := s.ssit[s.ssitIdx(pc)]
+	if set == invalidSet {
+		return 0, false
+	}
+	e := &s.lfst[s.lfstIdx(set)]
+	if !e.valid {
+		return 0, false
+	}
+	s.Stalled++
+	return e.seq, true
+}
+
+// StoreExecuted clears the LFST entry if it still names this store, so
+// later loads stop waiting on it.
+func (s *StoreSets) StoreExecuted(pc, seq uint64) {
+	set := s.ssit[s.ssitIdx(pc)]
+	if set == invalidSet {
+		return
+	}
+	e := &s.lfst[s.lfstIdx(set)]
+	if e.valid && e.seq == seq {
+		e.valid = false
+	}
+}
+
+// Violation trains the predictor after a memory order violation between a
+// load and an older store, merging their store sets (the declarative
+// "store set merge" rule: both PCs end up in the set with the smaller ID).
+func (s *StoreSets) Violation(loadPC, storePC uint64) {
+	s.Violations++
+	li, si := s.ssitIdx(loadPC), s.ssitIdx(storePC)
+	ls, ss := s.ssit[li], s.ssit[si]
+	switch {
+	case ls == invalidSet && ss == invalidSet:
+		id := s.next
+		s.next++
+		s.ssit[li], s.ssit[si] = id, id
+	case ls == invalidSet:
+		s.ssit[li] = ss
+	case ss == invalidSet:
+		s.ssit[si] = ls
+	case ls < ss:
+		s.ssit[si] = ls
+	default:
+		s.ssit[li] = ss
+	}
+}

@@ -1,0 +1,72 @@
+package memdep
+
+import "testing"
+
+func TestColdPredictorPredictsNothing(t *testing.T) {
+	s := New(64, 64)
+	if _, ok := s.RenameLoad(0x1000); ok {
+		t.Error("untrained load should have no dependence")
+	}
+	if _, ok := s.RenameStore(0x2000, 5); ok {
+		t.Error("untrained store should have no dependence")
+	}
+}
+
+func TestViolationCreatesDependence(t *testing.T) {
+	s := New(64, 64)
+	loadPC, storePC := uint64(0x1000), uint64(0x2000)
+	s.Violation(loadPC, storePC)
+	// The store registers in the LFST at rename...
+	if _, ok := s.RenameStore(storePC, 100); ok {
+		t.Error("first store in a fresh set has no predecessor")
+	}
+	// ...and the load now depends on it.
+	seq, ok := s.RenameLoad(loadPC)
+	if !ok || seq != 100 {
+		t.Fatalf("load dependence = %d,%v want 100", seq, ok)
+	}
+	// After the store executes, the dependence clears.
+	s.StoreExecuted(storePC, 100)
+	if _, ok := s.RenameLoad(loadPC); ok {
+		t.Error("dependence should clear once the store executed")
+	}
+}
+
+func TestStoreStoreOrdering(t *testing.T) {
+	s := New(64, 64)
+	s.Violation(0x1000, 0x2000)
+	s.RenameStore(0x2000, 100)
+	prev, ok := s.RenameStore(0x2000, 200)
+	if !ok || prev != 100 {
+		t.Errorf("second store should order after the first: %d,%v", prev, ok)
+	}
+}
+
+func TestSetMerging(t *testing.T) {
+	s := New(64, 64)
+	// Two independent violations, then a violation joining them.
+	s.Violation(0x1000, 0x2000)
+	s.Violation(0x3000, 0x4000)
+	s.Violation(0x1000, 0x4000) // merge
+	// Now a store at 0x4000 must gate the load at 0x1000.
+	s.RenameStore(0x4000, 300)
+	seq, ok := s.RenameLoad(0x1000)
+	if !ok || seq != 300 {
+		t.Errorf("merged set dependence = %d,%v want 300", seq, ok)
+	}
+	if s.Violations != 3 {
+		t.Errorf("violations = %d", s.Violations)
+	}
+}
+
+func TestStaleStoreExecutedIgnored(t *testing.T) {
+	s := New(64, 64)
+	s.Violation(0x1000, 0x2000)
+	s.RenameStore(0x2000, 100)
+	s.RenameStore(0x2000, 200)   // newer instance
+	s.StoreExecuted(0x2000, 100) // stale clear: must not remove seq 200
+	seq, ok := s.RenameLoad(0x1000)
+	if !ok || seq != 200 {
+		t.Errorf("stale StoreExecuted cleared live entry: %d,%v", seq, ok)
+	}
+}

@@ -1,0 +1,501 @@
+package pipeline
+
+import (
+	"repro/internal/isa"
+	"repro/internal/rename"
+)
+
+// dispatch inserts renamed µops into the instruction queue (and the
+// load/store queues), in program order, after the rename-to-dispatch
+// delay. Rename-eliminated µops never dispatch (§4.1: they consume
+// neither a scheduler entry nor an issue slot).
+func (c *Core) dispatch() {
+	for n := 0; n < c.cfg.DispatchWidth && c.dispCnt > 0; n++ {
+		u := &c.rob[c.dispPtr]
+		if u.renameCycle+uint64(c.cfg.RenameToDispatch) > c.cycle {
+			break
+		}
+		if u.state == stDone {
+			// Eliminated / NOP µops complete at rename.
+			c.dispPtr = (c.dispPtr + 1) % len(c.rob)
+			c.dispCnt--
+			continue
+		}
+		if len(c.iq) >= c.cfg.IQSize {
+			c.st.IQFullStalls++
+			break
+		}
+		if u.isLoad && len(c.lq) >= c.cfg.LQSize {
+			c.st.LQFullStalls++
+			break
+		}
+		if u.isStore && len(c.sq) >= c.cfg.SQSize {
+			c.st.SQFullStalls++
+			break
+		}
+		u.state = stDispatched
+		c.trace(u, StageDispatch)
+		c.iq = append(c.iq, u)
+		c.st.IQAdded++
+		if u.isLoad {
+			c.lq = append(c.lq, u)
+		}
+		if u.isStore {
+			c.sq = append(c.sq, u)
+		}
+		c.dispPtr = (c.dispPtr + 1) % len(c.rob)
+		c.dispCnt--
+	}
+}
+
+// srcsReady reports whether all register, flag and memory-dependence
+// sources of a µop are available this cycle.
+func (c *Core) srcsReady(u *uop) bool {
+	for i := 0; i < u.nsrc; i++ {
+		s := u.srcs[i]
+		if s.fp {
+			if c.fpReadyAt[s.name] > c.cycle {
+				return false
+			}
+		} else if c.intReadyAt[s.name] > c.cycle {
+			return false
+		}
+	}
+	if u.flagR && u.flagSrc != nil && u.flagSrc.uSeq == u.flagSrcUSeq &&
+		u.flagSrc.readyCycle > c.cycle {
+		return false
+	}
+	if u.memDepSeq != 0 && c.storePending(u.memDepSeq-1) {
+		return false
+	}
+	return true
+}
+
+// storePending reports whether the store with the given dynamic sequence
+// number is still in the store queue without having generated its address.
+func (c *Core) storePending(seq uint64) bool {
+	for _, s := range c.sq {
+		if s.seq == seq {
+			return !s.executedMem
+		}
+		if s.seq > seq {
+			return false
+		}
+	}
+	return false
+}
+
+// fu allocation state is rebuilt each cycle for pipelined units; the
+// unpipelined dividers hold their unit across cycles.
+type fuState struct {
+	usedThisCycle []bool
+	busyUntil     []uint64
+}
+
+func (c *Core) fuInit() {
+	if c.fus.busyUntil == nil {
+		c.fus.busyUntil = make([]uint64, len(c.cfg.FUs))
+		c.fus.usedThisCycle = make([]bool, len(c.cfg.FUs))
+	}
+	for i := range c.fus.usedThisCycle {
+		c.fus.usedThisCycle[i] = false
+	}
+}
+
+// allocFU finds a free functional unit able to execute the class.
+func (c *Core) allocFU(class isa.Class) int {
+	bit := uint32(1) << uint(class)
+	for i := range c.cfg.FUs {
+		f := &c.cfg.FUs[i]
+		if f.Classes&bit == 0 || c.fus.usedThisCycle[i] {
+			continue
+		}
+		if !f.Pipelined && c.fus.busyUntil[i] > c.cycle {
+			continue
+		}
+		return i
+	}
+	return -1
+}
+
+// issue selects up to IssueWidth ready µops from the IQ, oldest first,
+// assigns functional units, charges PRF reads, and computes completion
+// times (including cache access for loads).
+func (c *Core) issue() {
+	c.fuInit()
+	width := c.cfg.IssueWidth
+	for i := 0; i < len(c.iq) && width > 0; {
+		u := c.iq[i]
+		if !c.srcsReady(u) {
+			i++
+			continue
+		}
+		fu := c.allocFU(u.class)
+		if fu < 0 {
+			i++
+			continue
+		}
+		c.iq = append(c.iq[:i], c.iq[i+1:]...)
+		width--
+		c.fus.usedThisCycle[fu] = true
+		c.doIssue(u, fu)
+		if c.flushedThisCycle {
+			return
+		}
+	}
+}
+
+// doIssue executes the timing of one µop.
+func (c *Core) doIssue(u *uop, fu int) {
+	u.state = stIssued
+	u.fu = fu
+	c.trace(u, StageIssue)
+	c.st.IQIssued++
+
+	// Integer PRF read ports: physical, non-hardwired sources only
+	// (hardwired and inlined names are muxed from the scheduler entry,
+	// §3.2.1 and §6.1 footnote).
+	for i := 0; i < u.nsrc; i++ {
+		s := u.srcs[i]
+		if !s.fp && s.name.IsPhys() && !s.name.IsHardwired() {
+			c.st.IntPRFReads++
+			// GVP: note consumption of a wide predicted register; once
+			// consumed, a misprediction can no longer be repaired
+			// silently (§3.4.2).
+			if p := c.predictedReg[s.name]; p != nil {
+				p.vpConsumed = true
+			}
+		}
+	}
+
+	switch {
+	case u.isLoad:
+		c.issueLoad(u)
+	case u.isStore:
+		// issueStore may flush younger µops on an ordering violation; the
+		// store itself is always older than the violating load and
+		// survives, so its bookkeeping below still applies.
+		c.issueStore(u)
+	default:
+		lat := c.classLatency(u)
+		u.readyCycle = c.cycle + lat
+		if !c.cfg.FUs[fu].Pipelined {
+			c.fus.busyUntil[fu] = u.readyCycle
+		}
+	}
+
+	// Speculative wakeup: broadcast the destination availability.
+	if u.hasDst && u.freshDst {
+		if u.dstFP {
+			c.fpReadyAt[u.dst] = u.readyCycle
+		} else if !u.vpWide {
+			c.intReadyAt[u.dst] = u.readyCycle
+		}
+	}
+	c.execL = append(c.execL, u)
+}
+
+func (c *Core) classLatency(u *uop) uint64 {
+	m := c.cfg
+	switch u.class {
+	case isa.ClassIntALU:
+		return uint64(m.IntALULat)
+	case isa.ClassIntMul:
+		return uint64(m.IntMulLat)
+	case isa.ClassIntDiv:
+		return uint64(m.IntDivLat)
+	case isa.ClassFPALU:
+		return uint64(m.FPALULat)
+	case isa.ClassFPMul:
+		if u.dyn.Inst.Op == isa.FMADD {
+			return uint64(m.FPMacLat)
+		}
+		return uint64(m.FPMulLat)
+	case isa.ClassFPDiv:
+		return uint64(m.FPDivLat)
+	case isa.ClassBranch:
+		return uint64(m.BranchLat)
+	case isa.ClassStore:
+		return uint64(m.StoreLat)
+	}
+	return 1
+}
+
+// issueLoad performs address generation, store-to-load forwarding, and
+// the cache access.
+func (c *Core) issueLoad(u *uop) {
+	u.executedMem = true
+	agu := c.cycle + 1
+	agu += c.tlbs.Translate(u.ea, false)
+
+	// Store-to-load forwarding against older stores with known addresses.
+	var fwd *uop
+	partial := false
+	for _, s := range c.sq {
+		if s.seq >= u.seq {
+			break
+		}
+		if !s.executedMem || !overlaps(u.ea, u.memSize, s.ea, s.memSize) {
+			continue
+		}
+		if contains(u.ea, u.memSize, s.ea, s.memSize) {
+			fwd, partial = s, false
+		} else {
+			fwd, partial = s, true
+		}
+	}
+	switch {
+	case fwd != nil && !partial:
+		// Full forward from the youngest covering store.
+		u.readyCycle = agu + uint64(c.cfg.L1D.LoadToUse)
+		if fwd.readyCycle > u.readyCycle {
+			u.readyCycle = fwd.readyCycle
+		}
+	case fwd != nil:
+		// Partial overlap: wait for the store data and replay through
+		// the cache.
+		u.readyCycle = maxu(c.mem.L1D.Access(u.ea, agu, false, false), fwd.readyCycle+4)
+	default:
+		u.readyCycle = c.mem.L1D.Access(u.ea, agu, false, false)
+	}
+}
+
+// issueStore generates the store address, releases dependent loads in the
+// store-set predictor, and checks for memory order violations: a younger
+// load that already executed with an overlapping address read stale data,
+// so the pipeline flushes at that load and the store sets learn the pair
+// (§Table 2 Store Sets row).
+func (c *Core) issueStore(u *uop) {
+	u.executedMem = true
+	u.readyCycle = c.cycle + uint64(c.cfg.StoreLat)
+	c.ssets.StoreExecuted(u.storePC, u.seq)
+
+	for _, l := range c.lq {
+		if l.seq > u.seq && l.executedMem && overlaps(l.ea, l.memSize, u.ea, u.memSize) {
+			c.ssets.Violation(l.dyn.PC, u.dyn.PC)
+			c.st.MemOrderFlushes++
+			c.flush(l.seq, uint64(c.cfg.MemOrderFlushPenalty))
+			return
+		}
+	}
+}
+
+// complete retires execution: validation of value predictions, branch
+// resolution (fetch resume), and PRF write accounting.
+func (c *Core) complete() {
+	c.flushedThisCycle = false
+	for i := 0; i < len(c.execL); {
+		u := c.execL[i]
+		if u.readyCycle > c.cycle {
+			i++
+			continue
+		}
+		c.execL = append(c.execL[:i], c.execL[i+1:]...)
+		u.state = stDone
+		c.trace(u, StageComplete)
+
+		// Value prediction validation, in place at the functional unit
+		// (§3.3): the physical destination register name is the
+		// prediction; compare it with the computed result. Under the
+		// EOLE-style alternative (§2.2) validation is deferred to retire.
+		if u.vpUsed && !c.cfg.VP.ValidateAtRetire {
+			if !c.validateVP(u) {
+				return // flushed; execL was rebuilt
+			}
+		}
+
+		// Branch resolution: resume fetch if it was stalled on this
+		// branch.
+		if u.isBranch && c.waitBranchSeq == u.seq+1 {
+			c.waitBranchSeq = 0
+			c.fetchStallUntil = maxu(c.fetchStallUntil, c.cycle+redirectPenalty)
+		}
+
+		// Integer PRF write (suppressed for inlined/hardwired VP
+		// destinations — there is nothing to write — and for correct GVP
+		// wide predictions, whose value was already written at rename).
+		if u.hasDst && u.freshDst && !u.dstFP && !u.vpWide {
+			c.st.IntPRFWrites++
+		}
+	}
+}
+
+// validateVP checks a used prediction against the computed result. It
+// returns false when a flush occurred.
+func (c *Core) validateVP(u *uop) bool {
+	p, _ := c.pred(u.seq)
+	actual := u.dyn.Result
+	if p.vpValue == actual {
+		if u.vpWide {
+			// The prediction was already written at rename; the
+			// architectural result is still written back (Fig. 6's extra
+			// GVP write traffic).
+			c.predictedReg[u.dst] = nil
+			c.st.IntPRFWrites++
+		}
+		return true
+	}
+
+	// Misprediction.
+	c.st.VPIncorrectUsed++
+	c.vpred.Silence(c.cycle)
+
+	if u.vpWide && !u.vpConsumed {
+		// GVP silent repair (§3.4.2): no dependent has read the
+		// prediction, so the correct value simply overwrites it.
+		c.predictedReg[u.dst] = nil
+		c.intReadyAt[u.dst] = c.cycle
+		c.st.IntPRFWrites++
+		u.vpUsed = false // commits as a non-used (repaired) prediction
+		return true
+	}
+
+	c.st.VPFlushes++
+	if u.vpWide {
+		// GVP: the instruction owns a physical register; the correct
+		// result overwrites the prediction and only younger µops squash.
+		c.predictedReg[u.dst] = nil
+		c.intReadyAt[u.dst] = c.cycle
+		c.st.IntPRFWrites++
+		u.vpUsed = false
+		c.flush(u.seq+1, redirectPenalty)
+	} else {
+		// MVP/TVP: the destination was renamed to a hardwired register
+		// or has no storage at all; the instruction must be refetched
+		// and renamed again (§3.4), so the flush includes it.
+		c.flush(u.seq, redirectPenalty)
+	}
+	return false
+}
+
+// commit retires up to CommitWidth completed µops in program order,
+// updating the committed RAT, training the value predictor from the
+// VP-tracking FIFO, performing store writebacks, and accumulating the
+// paper's per-category elimination statistics.
+func (c *Core) commit() {
+	for n := 0; n < c.cfg.CommitWidth && c.robCnt > 0; n++ {
+		u := &c.rob[c.robHead]
+		if u.state != stDone || u.readyCycle > c.cycle {
+			break
+		}
+
+		// Retire-time validation (§2.2's EOLE-style scheme): read the
+		// computed result back from the PRF (the +1 PRF read the paper
+		// charges this design) and compare against the prediction.
+		if u.vpUsed && c.cfg.VP.ValidateAtRetire {
+			c.st.IntPRFReads++
+			if !c.validateVP(u) {
+				return // flushed (including u itself for MVP/TVP)
+			}
+		}
+
+		if u.hasDst {
+			if u.dstFP {
+				c.ren.CommitDefFP(u.dstArch, u.dst)
+			} else {
+				c.ren.CommitDefInt(u.dstArch, u.dst, u.dstWide, u.dstSpec)
+			}
+		}
+
+		if u.isStore {
+			if len(c.sq) == 0 || c.sq[0] != u {
+				panic("pipeline: store commit out of order")
+			}
+			c.sq = c.sq[1:]
+			c.mem.L1D.Access(u.ea, c.cycle, true, false)
+		}
+		if u.isLoad {
+			if len(c.lq) == 0 || c.lq[0] != u {
+				panic("pipeline: load commit out of order")
+			}
+			c.lq = c.lq[1:]
+		}
+
+		if u.kind == isa.UOpMain {
+			c.commitMainStats(u)
+		}
+
+		c.trace(u, StageCommit)
+		c.st.UOps++
+		if u.last {
+			c.st.ArchInsts++
+			c.committed++
+		}
+		if u.vpWide {
+			c.predictedReg[u.dst] = nil
+		}
+		c.robHead = (c.robHead + 1) % len(c.rob)
+		c.robCnt--
+		c.lastCommitC = c.cycle
+	}
+}
+
+// commitMainStats accumulates per-instruction statistics at retirement of
+// the main µop: elimination categories (Fig. 4), VP coverage metrics
+// (§6.1), and value predictor training (§3.3: the FIFO drains at retire).
+func (c *Core) commitMainStats(u *uop) {
+	in := u.dyn.Inst
+	if u.moveBlocked && !u.eliminated {
+		c.st.MoveNotElim++
+	}
+	if u.eliminated {
+		switch u.elim.Origin {
+		case rename.OriginZeroOne:
+			if u.elim.Kind == rename.KindOne {
+				c.st.OneIdiomElim++
+			} else {
+				c.st.ZeroIdiomElim++
+			}
+		case rename.OriginMove:
+			c.st.MoveElim++
+		case rename.OriginNineBit:
+			c.st.NineBitElim++
+		case rename.OriginSpSR:
+			c.st.SpSRElim++
+			switch u.elim.Kind {
+			case rename.KindZero:
+				c.st.SpSRZero++
+			case rename.KindOne:
+				c.st.SpSROne++
+			case rename.KindValue:
+				c.st.SpSRZero++ // small-constant results grouped with zero-idiom class
+			case rename.KindMove:
+				c.st.SpSRMove++
+			case rename.KindNop:
+				c.st.SpSRNop++
+			case rename.KindBranch:
+				c.st.SpSRBranch++
+			}
+			if in.Op == isa.CSEL || in.Op == isa.CSINC || in.Op == isa.CSNEG {
+				c.st.SpSRCondSelect++
+			}
+		}
+	}
+
+	if in.VPEligible() {
+		c.st.VPEligible++
+	}
+	if u.vpHasLookup {
+		if u.vpUsed {
+			c.st.VPCorrectUsed++ // a used wrong prediction never commits used
+		} else {
+			c.st.VPTrainOnly++
+		}
+		if c.vpred != nil {
+			c.vpred.Train(u.vpLookup, u.dyn.Result)
+		}
+	}
+}
+
+// syncMemStats copies cache/TLB/prefetch counters into the stats block so
+// snapshot subtraction (warmup exclusion) covers them.
+func (c *Core) syncMemStats() {
+	c.st.L1IAccesses, c.st.L1IMisses = c.mem.L1I.Accesses, c.mem.L1I.Misses
+	c.st.L1DAccesses, c.st.L1DMisses = c.mem.L1D.Accesses, c.mem.L1D.Misses
+	c.st.L2Accesses, c.st.L2Misses = c.mem.L2.Accesses, c.mem.L2.Misses
+	c.st.L3Accesses, c.st.L3Misses = c.mem.L3.Accesses, c.mem.L3.Misses
+	c.st.L1TLBMisses = c.tlbs.L1I.Misses + c.tlbs.L1D.Misses
+	c.st.L2TLBMisses = c.tlbs.L2.Misses
+	c.st.PrefetchesIssued = c.mem.L1D.PFIssued + c.mem.L2.PFIssued
+	c.st.PrefetchesUseful = c.mem.L1D.PFUseful + c.mem.L2.PFUseful
+}

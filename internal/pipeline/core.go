@@ -1,0 +1,271 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/bp"
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/memdep"
+	"repro/internal/prefetch"
+	"repro/internal/prog"
+	"repro/internal/rename"
+	"repro/internal/stats"
+	"repro/internal/tlb"
+	"repro/internal/vp"
+)
+
+const (
+	// redirectPenalty is the fixed pipe-restart bubble after a branch
+	// resolves against its prediction or a flush redirects fetch; the
+	// refill of the frontend stages provides the rest of the penalty
+	// naturally.
+	redirectPenalty = 2
+	// neverReady marks an unproduced physical register.
+	neverReady = ^uint64(0)
+	// deadlockWindow is a debugging aid: the core panics if no µop
+	// commits for this many cycles, which always indicates a model bug.
+	deadlockWindow = 200000
+)
+
+// fqEntry is a fetched architectural instruction waiting for decode.
+type fqEntry struct {
+	dyn        *emu.DynInst
+	fetchCycle uint64
+}
+
+// dqEntry is a decoded µop waiting for rename.
+type dqEntry struct {
+	dyn         *emu.DynInst
+	kind        isa.UOpKind
+	class       isa.Class
+	last        bool
+	decodeCycle uint64
+}
+
+// predInfo caches fetch-time predictor state per dynamic instruction, so
+// a refetch after a flush reuses the original structural predictions
+// while re-evaluating use-time policy (e.g. VP silencing).
+type predInfo struct {
+	seqPlus1  uint64 // seq+1; 0 = invalid
+	bpMispred bool
+	btbMiss   bool
+	vpValid   bool
+	vpConf    bool
+	vpValue   uint64
+	vpLookup  vp.Lookup
+}
+
+// Core is one simulated out-of-order core attached to a dynamic
+// instruction stream.
+type Core struct {
+	cfg    *config.Machine
+	stream *emu.Stream
+	st     stats.Sim
+
+	// Predictors and memory system.
+	tage   *bp.TAGE
+	btb    *bp.BTB
+	ras    *bp.RAS
+	ind    *bp.Indirect
+	vpred  *vp.Predictor
+	ssets  *memdep.StoreSets
+	mem    *cache.Hierarchy
+	tlbs   *tlb.Hierarchy
+	ren    *rename.Renamer
+	engine rename.Engine
+
+	cycle   uint64
+	uSeqCtr uint64
+
+	// Frontend state.
+	fetchQ          []fqEntry
+	decodeQ         []dqEntry
+	fetchStallUntil uint64
+	waitBranchSeq   uint64 // fetch stalled until this branch resolves (+1); 0 = none
+	curFetchLine    uint64
+	lineReadyAt     uint64
+	haltSeen        bool
+	predRing        []predInfo
+
+	// Backend state.
+	rob          []uop // ring buffer
+	robHead      int
+	robTail      int
+	robCnt       int
+	dispPtr      int // ring index of the next µop to dispatch
+	dispCnt      int // µops renamed but not yet dispatched
+	iq           []*uop
+	lq           []*uop
+	sq           []*uop
+	execL        []*uop
+	intReadyAt   []uint64
+	fpReadyAt    []uint64
+	predictedReg []*uop // GVP: in-flight wide prediction per physical reg
+	lastFlagW    *uop
+	lastFlagWSeq uint64
+
+	fus              fuState
+	flushedThisCycle bool
+	tracer           Tracer
+
+	committed   uint64 // committed architectural instructions (total)
+	lastCommitC uint64 // cycle of the last commit (deadlock detection)
+}
+
+// New builds a core for the given machine over the given program.
+func New(cfg *config.Machine, p *prog.Program) *Core {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Core{
+		cfg:    cfg,
+		stream: emu.NewStream(emu.New(p), 0),
+	}
+	c.tage = bp.NewTAGE(bp.TAGEConfig{
+		BaseLog2:   cfg.BPBaseLog2,
+		TaggedLog2: cfg.BPTaggedLog2,
+		Tables:     cfg.BPTables,
+		TagBits:    cfg.BPTagBits,
+		MinHist:    cfg.BPMinHist,
+		MaxHist:    cfg.BPMaxHist,
+	})
+	c.btb = bp.NewBTB(cfg.BTBEntries, cfg.BTBAssoc)
+	c.ras = bp.NewRAS(cfg.RASEntries)
+	c.ind = bp.NewIndirect(cfg.IndirectEntries)
+	if cfg.VP.Mode != config.VPOff {
+		c.vpred = vp.New(cfg.VP)
+	}
+	c.ssets = memdep.New(cfg.SSITEntries, cfg.LFSTEntries)
+	var l1dPF, l2PF cache.Prefetcher
+	if cfg.StridePrefetch {
+		l1dPF = prefetch.NewStride(256, cfg.StrideDegree, cfg.L1D.LineBytes)
+	}
+	if cfg.AMPMPrefetch {
+		l2PF = prefetch.NewAMPM(128, 2, cfg.L2.LineBytes)
+	}
+	c.mem = cache.NewHierarchy(cfg, l1dPF, l2PF)
+	c.tlbs = tlb.NewHierarchy(cfg)
+	c.ren = rename.NewRenamer(cfg.IntPRF, cfg.FPPRF)
+	c.engine = rename.Engine{
+		ZeroOneIdiom: cfg.ZeroOneIdiom,
+		MoveElim:     cfg.MoveElim,
+		NineBit:      cfg.NineBitIdiom,
+		SpSR:         cfg.SpSR,
+		Inline:       cfg.VP.Mode == config.TVP || cfg.VP.Mode == config.GVP,
+	}
+	c.rob = make([]uop, cfg.ROBSize)
+	c.iq = make([]*uop, 0, cfg.IQSize)
+	c.lq = make([]*uop, 0, cfg.LQSize)
+	c.sq = make([]*uop, 0, cfg.SQSize)
+	c.intReadyAt = make([]uint64, cfg.IntPRF)
+	c.fpReadyAt = make([]uint64, cfg.FPPRF)
+	c.predictedReg = make([]*uop, cfg.IntPRF)
+	c.predRing = make([]predInfo, emu.DefaultStreamCapacity)
+	c.curFetchLine = ^uint64(0)
+	return c
+}
+
+// Result is the outcome of a simulation run.
+type Result struct {
+	Stats     stats.Sim
+	Cycles    uint64 // total cycles including warmup
+	Committed uint64 // total committed architectural instructions
+	Halted    bool   // the program ran to completion
+}
+
+// Run simulates until maxInsts architectural instructions have committed
+// (post-warmup instructions count toward stats), or until the program
+// halts. warmup instructions commit before stats collection begins.
+func (c *Core) Run(warmup, maxInsts uint64) Result {
+	var warmSnap stats.Sim
+	warmed := warmup == 0
+	for {
+		if !warmed && c.committed >= warmup {
+			c.syncMemStats()
+			warmSnap = c.st
+			warmed = true
+		}
+		if c.committed >= warmup+maxInsts {
+			break
+		}
+		if c.haltSeen && c.robCnt == 0 && c.dispCnt == 0 {
+			break
+		}
+		c.step()
+	}
+	if !warmed {
+		warmSnap = stats.Sim{} // program shorter than warmup: count it all
+	}
+	c.syncMemStats()
+	res := Result{
+		Cycles:    c.cycle,
+		Committed: c.committed,
+		Halted:    c.haltSeen && c.robCnt == 0,
+	}
+	res.Stats = stats.Sub(&c.st, &warmSnap)
+	return res
+}
+
+// step advances the machine by one cycle.
+func (c *Core) step() {
+	c.complete()
+	c.commit()
+	c.issue()
+	c.dispatch()
+	c.renameStage()
+	c.decode()
+	c.fetch()
+	c.cycle++
+	c.st.Cycles++
+	if c.cycle-c.lastCommitC > deadlockWindow {
+		panic(fmt.Sprintf("pipeline: no commit for %d cycles at cycle %d (rob=%d iq=%d head-state=%v)",
+			uint64(deadlockWindow), c.cycle, c.robCnt, len(c.iq), c.headState()))
+	}
+}
+
+func (c *Core) headState() string {
+	if c.robCnt == 0 {
+		return "empty"
+	}
+	u := &c.rob[c.robHead]
+	s := fmt.Sprintf("seq=%d op=%v kind=%d state=%d ready=%d", u.seq, u.dyn.Inst.Op, u.kind, u.state, u.readyCycle)
+	for i := 0; i < u.nsrc; i++ {
+		src := u.srcs[i]
+		if src.fp {
+			s += fmt.Sprintf(" fp%v@%d", src.name, c.fpReadyAt[src.name])
+		} else {
+			s += fmt.Sprintf(" %v@%d", src.name, c.intReadyAt[src.name])
+		}
+	}
+	if u.memDepSeq != 0 {
+		s += fmt.Sprintf(" memdep=%d pending=%v", u.memDepSeq-1, c.storePending(u.memDepSeq-1))
+	}
+	if u.flagR && u.flagSrc != nil && u.flagSrc.uSeq == u.flagSrcUSeq {
+		s += fmt.Sprintf(" flagdep=%d@%d", u.flagSrc.seq, u.flagSrc.readyCycle)
+	}
+	return s
+}
+
+// pred returns the fetch-time predictor record for seq; fresh reports
+// whether this is the first fetch of this dynamic instance (predictors
+// must only be queried and trained once per instance).
+func (c *Core) pred(seq uint64) (p *predInfo, fresh bool) {
+	p = &c.predRing[seq%uint64(len(c.predRing))]
+	if p.seqPlus1 != seq+1 {
+		*p = predInfo{seqPlus1: seq + 1}
+		return p, true
+	}
+	return p, false
+}
+
+// Stats exposes the accumulated counters (primarily for tests).
+func (c *Core) Stats() *stats.Sim { return &c.st }
+
+// MemHierarchy exposes the cache hierarchy (for tests and diagnostics).
+func (c *Core) MemHierarchy() *cache.Hierarchy { return c.mem }
+
+// Cycle returns the current cycle.
+func (c *Core) Cycle() uint64 { return c.cycle }

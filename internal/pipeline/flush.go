@@ -1,0 +1,95 @@
+package pipeline
+
+// flush squashes every in-flight µop with dynamic sequence number >= seq,
+// rewinds the instruction stream so those instructions are refetched,
+// repairs the rename state (copy CRAT to RAT, then re-apply surviving
+// in-flight mappings in order — the recovery scheme of §3.2.1), and stalls
+// fetch for the redirect penalty. This is the recovery path for value
+// mispredictions (including the mispredicted instruction itself under
+// MVP/TVP, §3.4) and for memory order violations.
+func (c *Core) flush(seq uint64, penalty uint64) {
+	c.flushedThisCycle = true
+
+	// Squash ROB entries from the tail back to the flush point.
+	for c.robCnt > 0 {
+		tail := (c.robTail - 1 + len(c.rob)) % len(c.rob)
+		u := &c.rob[tail]
+		if u.seq < seq {
+			break
+		}
+		if u.hasDst {
+			if u.dstFP {
+				c.ren.ReleaseFP(u.dst)
+			} else {
+				c.ren.Release(u.dst)
+				if u.vpWide && c.predictedReg[u.dst] == u {
+					c.predictedReg[u.dst] = nil
+				}
+			}
+		}
+		c.trace(u, StageSquash)
+		u.uSeq = 0 // invalidate flag-dependence references to this slot
+		c.robTail = tail
+		c.robCnt--
+		c.st.SquashedUOps++
+	}
+
+	// Rebuild the dispatch pointer: entries renamed but not yet
+	// dispatched are a contiguous suffix of the live ROB.
+	c.dispCnt = 0
+	c.dispPtr = c.robTail
+	for i := 0; i < c.robCnt; i++ {
+		idx := (c.robTail - 1 - i + 2*len(c.rob)) % len(c.rob)
+		if c.rob[idx].state != stRenamed {
+			break
+		}
+		c.dispPtr = idx
+		c.dispCnt++
+	}
+
+	// Filter the scheduler, memory queues and in-flight execution list.
+	c.iq = filterUops(c.iq, seq)
+	c.lq = filterUops(c.lq, seq)
+	c.sq = filterUops(c.sq, seq)
+	c.execL = filterUops(c.execL, seq)
+
+	// Rename recovery: restore committed mappings, then replay surviving
+	// speculative definitions in program order.
+	c.ren.RestoreFromCRAT()
+	c.lastFlagW = nil
+	c.lastFlagWSeq = 0
+	for i, idx := 0, c.robHead; i < c.robCnt; i, idx = i+1, (idx+1)%len(c.rob) {
+		u := &c.rob[idx]
+		if u.hasDst {
+			if u.dstFP {
+				c.ren.ReplayDefFP(u.dstArch, u.dst)
+			} else {
+				c.ren.ReplayDefInt(u.dstArch, u.dst, u.dstWide, u.dstSpec)
+			}
+		}
+		if u.flagW {
+			c.lastFlagW = u
+			c.lastFlagWSeq = u.uSeq
+		}
+	}
+
+	// Frontend restart.
+	c.fetchQ = c.fetchQ[:0]
+	c.decodeQ = c.decodeQ[:0]
+	c.stream.Rewind(seq)
+	c.curFetchLine = ^uint64(0)
+	c.waitBranchSeq = 0
+	c.haltSeen = false
+	c.fetchStallUntil = maxu(c.fetchStallUntil, c.cycle+penalty)
+}
+
+// filterUops removes squashed µops (seq >= boundary) preserving order.
+func filterUops(list []*uop, seq uint64) []*uop {
+	out := list[:0]
+	for _, u := range list {
+		if u.seq < seq {
+			out = append(out, u)
+		}
+	}
+	return out
+}

@@ -1,0 +1,550 @@
+package pipeline
+
+import (
+	"repro/internal/config"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/rename"
+)
+
+// fetch models the 16-wide fetch stage: it pulls correct-path instructions
+// from the stream, probes the branch predictors and the value predictor
+// (once per dynamic instance), enforces taken-branch and BTB-mistarget
+// bubbles, stalls behind mispredicted branches until they resolve, and
+// charges L1I/ITLB latency per fetched line.
+func (c *Core) fetch() {
+	if c.haltSeen || c.cycle < c.fetchStallUntil || c.waitBranchSeq != 0 {
+		return
+	}
+	for fetched := 0; fetched < c.cfg.FetchWidth && len(c.fetchQ) < c.cfg.FetchQueue; fetched++ {
+		d := c.stream.Peek()
+		if d == nil {
+			c.haltSeen = true
+			return
+		}
+		if d.Inst.Op == isa.HALT {
+			c.stream.Next()
+			c.haltSeen = true
+			return
+		}
+
+		// Instruction cache: charge when crossing into a new line.
+		line := d.PC &^ 63
+		if line != c.curFetchLine {
+			lat := c.tlbs.Translate(d.PC, true)
+			ready := c.mem.L1I.Access(d.PC, c.cycle+lat, false, false)
+			c.curFetchLine = line
+			if ready > c.cycle+uint64(c.cfg.L1I.LoadToUse) {
+				// Miss: stall fetch until the fill returns.
+				c.fetchStallUntil = ready
+				return
+			}
+		}
+
+		p, fresh := c.pred(d.Seq)
+		if fresh {
+			c.firstFetch(d, p)
+		}
+
+		c.stream.Next()
+		c.fetchQ = append(c.fetchQ, fqEntry{dyn: d, fetchCycle: c.cycle})
+		c.st.FetchedInsts++
+
+		if isa.IsBranch(d.Inst.Op) {
+			if p.bpMispred {
+				// Fetch cannot proceed past a mispredicted branch until
+				// it resolves (trace-driven discipline: the wrong path is
+				// not simulated, its cost is this stall).
+				c.waitBranchSeq = d.Seq + 1
+				return
+			}
+			if d.Taken {
+				bubble := uint64(c.cfg.TakenBranchPenalty)
+				if p.btbMiss {
+					bubble = uint64(c.cfg.DecodeMistarget)
+				}
+				c.fetchStallUntil = c.cycle + 1 + bubble
+				c.curFetchLine = ^uint64(0)
+				return
+			}
+		}
+	}
+}
+
+// firstFetch performs the once-per-dynamic-instance predictor work:
+// conditional direction prediction (TAGE), target prediction (BTB, RAS,
+// indirect cache), global history maintenance for both TAGE and VTAGE, and
+// the value predictor probe.
+func (c *Core) firstFetch(d *emu.DynInst, p *predInfo) {
+	in := d.Inst
+	switch {
+	case isa.IsCondBranch(in.Op):
+		c.st.BranchLookups++
+		pr := c.tage.Predict(d.PC)
+		p.bpMispred = pr.Taken != d.Taken
+		if p.bpMispred {
+			c.st.BranchMispredicts++
+		}
+		c.tage.Train(d.PC, pr, d.Taken)
+		if c.vpred != nil {
+			c.vpred.PushHistory(d.Taken)
+		}
+		if d.Taken {
+			if tgt, ok := c.btb.Lookup(d.PC); !ok || tgt != d.NextPC {
+				p.btbMiss = true
+				c.st.BTBMisses++
+			}
+			c.btb.Insert(d.PC, d.NextPC)
+			c.ind.PushPath(d.NextPC)
+		}
+	case in.Op == isa.B, in.Op == isa.BL:
+		if tgt, ok := c.btb.Lookup(d.PC); !ok || tgt != d.NextPC {
+			p.btbMiss = true
+			c.st.BTBMisses++
+		}
+		c.btb.Insert(d.PC, d.NextPC)
+		c.ind.PushPath(d.NextPC)
+		if in.Op == isa.BL {
+			c.ras.Push(d.PC + 4)
+		}
+	case in.Op == isa.RET:
+		tgt, ok := c.ras.Pop()
+		p.bpMispred = !ok || tgt != d.NextPC
+		if p.bpMispred {
+			c.st.RASMispreds++
+		}
+		c.ind.PushPath(d.NextPC)
+	case in.Op == isa.BR:
+		tgt, ok := c.ind.Lookup(d.PC)
+		p.bpMispred = !ok || tgt != d.NextPC
+		if p.bpMispred {
+			c.st.IndirectMispreds++
+		}
+		c.ind.Update(d.PC, d.NextPC)
+	}
+
+	if c.vpred != nil && in.VPEligible() {
+		l := c.vpred.Predict(d.PC)
+		p.vpValid = true
+		p.vpConf = l.Confident
+		p.vpValue = l.Value
+		p.vpLookup = l
+	}
+}
+
+// decode moves instructions from the fetch queue to the µop queue,
+// cracking pre/post-index memory operations into two µops.
+func (c *Core) decode() {
+	const dqCap = 32
+	for n := 0; n < c.cfg.DecodeWidth && len(c.fetchQ) > 0; n++ {
+		e := c.fetchQ[0]
+		if e.fetchCycle+uint64(c.cfg.FetchToDecode) > c.cycle {
+			break
+		}
+		cnt := isa.CrackCount(e.dyn.Inst)
+		if len(c.decodeQ)+cnt > dqCap {
+			break
+		}
+		c.fetchQ = c.fetchQ[1:]
+		var tmpl [2]isa.UOpTemplate
+		uts := isa.Crack(e.dyn.Inst, tmpl[:0])
+		for i, t := range uts {
+			c.decodeQ = append(c.decodeQ, dqEntry{
+				dyn:         e.dyn,
+				kind:        t.Kind,
+				class:       t.Class,
+				last:        i == len(uts)-1,
+				decodeCycle: c.cycle,
+			})
+		}
+	}
+}
+
+// renameStage renames up to RenameWidth µops: sources through the RAT,
+// destinations through DSR idiom elimination, move elimination, 9-bit
+// idiom elimination, SpSR, value prediction, or a fresh physical register,
+// in that priority order. Renamed µops enter the ROB.
+func (c *Core) renameStage() {
+	for n := 0; n < c.cfg.RenameWidth && len(c.decodeQ) > 0; n++ {
+		e := c.decodeQ[0]
+		if e.decodeCycle+uint64(c.cfg.DecodeToRename) > c.cycle {
+			break
+		}
+		if c.robCnt >= c.cfg.ROBSize {
+			c.st.ROBFullStalls++
+			break
+		}
+		// Conservative: one µop can need at most one int and one FP reg.
+		if c.ren.FreeInt() < 1 || c.ren.FreeFP() < 1 {
+			c.st.PRFEmptyStalls++
+			break
+		}
+		c.decodeQ = c.decodeQ[1:]
+		u := &c.rob[c.robTail]
+		c.robTail = (c.robTail + 1) % len(c.rob)
+		c.robCnt++
+		c.dispCnt++
+		c.renameUop(u, e)
+	}
+}
+
+// renameUop fills one ROB entry.
+func (c *Core) renameUop(u *uop, e dqEntry) {
+	defer c.trace(u, StageRename)
+	c.uSeqCtr++
+	*u = uop{
+		dyn:         e.dyn,
+		seq:         e.dyn.Seq,
+		kind:        e.kind,
+		class:       e.class,
+		last:        e.last,
+		uSeq:        c.uSeqCtr,
+		renameCycle: c.cycle,
+		readyCycle:  neverReady,
+		state:       stRenamed,
+		memDepSeq:   0,
+	}
+	in := e.dyn.Inst
+
+	if e.kind == isa.UOpBaseUpdate {
+		c.renameBaseUpdate(u, in)
+		return
+	}
+
+	switch e.class {
+	case isa.ClassNop:
+		u.state = stDone
+		u.readyCycle = c.cycle
+		return
+	case isa.ClassLoad:
+		u.isLoad = true
+	case isa.ClassStore:
+		u.isStore = true
+	case isa.ClassBranch:
+		u.isBranch = true
+	}
+
+	// Source operands through the RAT (before any destination update).
+	srcN := c.ren.SrcInt(in.Rn)
+	srcM := c.ren.SrcInt(in.Rm)
+
+	// Rename-time reduction engine (integer, non-memory µops only).
+	if !isa.IsMem(in.Op) && !isa.IsFP(in.Op) && in.Op != isa.FCMP {
+		nz, nzSpec, nzKnown := c.ren.NZCV()
+		d, moveBlocked := c.engine.Decide(in, srcN, srcM, nz, nzSpec, nzKnown)
+		u.moveBlocked = moveBlocked
+		if d.Kind != rename.KindNone {
+			c.applyReduction(u, in, d)
+			c.attachVPTraining(u, in)
+			return
+		}
+	}
+
+	// Regular renaming of sources for the scheduler (must precede any
+	// destination update: MOVK and stores read registers the instruction
+	// may also define).
+	c.collectSrcs(u, in, srcN, srcM)
+
+	// Value prediction (§3.1/§3.2/§6.1): rename the destination to a
+	// hardwired register, an inlined value name, or (GVP, wide values) a
+	// fresh register written with the prediction.
+	c.tryValuePredict(u, in)
+
+	// Flags.
+	if isa.SetsFlags(in.Op) {
+		u.flagW = true
+		c.ren.InvalidateNZCV()
+		c.lastFlagW = u
+		c.lastFlagWSeq = u.uSeq
+	}
+	if isa.ReadsFlags(in.Op) {
+		if _, _, known := c.ren.NZCV(); !known {
+			u.flagR = true
+			if c.lastFlagW != nil && c.lastFlagW.uSeq == c.lastFlagWSeq {
+				u.flagSrc = c.lastFlagW
+				u.flagSrcUSeq = c.lastFlagWSeq
+			}
+		}
+	}
+
+	// Destination (unless value prediction already renamed it).
+	if !u.vpUsed {
+		c.renameDest(u, in)
+	}
+
+	// Memory dependence prediction and queue bookkeeping.
+	// Note: LFST entries can be stale after a flush (a squashed store's
+	// registration survives and the refetched instance re-registers), so
+	// a dependence is honored only when it names a strictly older store.
+	if u.isLoad {
+		u.ea = e.dyn.EA
+		u.memSize = in.Size
+		if seq, ok := c.ssets.RenameLoad(e.dyn.PC); ok && seq < u.seq {
+			u.memDepSeq = seq + 1
+		}
+	}
+	if u.isStore {
+		u.ea = e.dyn.EA
+		u.memSize = in.Size
+		u.storePC = e.dyn.PC
+		if prev, ok := c.ssets.RenameStore(e.dyn.PC, e.dyn.Seq); ok && prev < u.seq {
+			u.memDepSeq = prev + 1
+		}
+	}
+
+	c.attachVPTraining(u, in)
+}
+
+// renameBaseUpdate renames the address-increment µop of a pre/post-index
+// access: it reads the old base and writes a fresh physical register.
+func (c *Core) renameBaseUpdate(u *uop, in *isa.Inst) {
+	base := c.ren.SrcInt(in.Rn)
+	if !base.Known {
+		u.srcs[u.nsrc] = srcOperand{name: base.Name}
+		u.nsrc++
+	}
+	p := c.ren.AllocInt()
+	c.intReadyAt[p] = neverReady
+	c.ren.DefInt(in.Rn, p, true, false)
+	u.hasDst = true
+	u.freshDst = true
+	u.dst = p
+	u.dstArch = in.Rn
+	u.dstWide = true
+}
+
+// applyReduction retires a rename-time reduction: the µop completes at
+// rename, never dispatching to the IQ (§4.1).
+func (c *Core) applyReduction(u *uop, in *isa.Inst, d rename.Decision) {
+	u.eliminated = true
+	u.elim = d
+	u.state = stDone
+	u.readyCycle = c.cycle
+
+	switch d.Kind {
+	case rename.KindZero:
+		c.defShared(u, in.Rd, rename.HardZero, d.Spec)
+	case rename.KindOne:
+		c.defShared(u, in.Rd, rename.HardOne, d.Spec)
+	case rename.KindValue:
+		c.defShared(u, in.Rd, rename.ValueName(d.Value), d.Spec)
+	case rename.KindMove:
+		wide := d.MoveOp.Wide && !in.W
+		if in.Rd != isa.XZR {
+			c.ren.DefIntShared(in.Rd, d.MoveOp.Name, wide, d.Spec)
+			u.hasDst = true
+			u.dst = d.MoveOp.Name
+			u.dstArch = in.Rd
+			u.dstWide = wide
+			u.dstSpec = d.Spec
+		}
+	case rename.KindNop:
+		// Flag-only side effects, carried by the frontend NZCV.
+	case rename.KindBranch:
+		u.resolvedEarly = true
+		// An SpSR-resolved branch resolves at rename: if fetch was
+		// stalled on it, redirect now (§4.2: "conditional branches can
+		// be resolved early").
+		if c.waitBranchSeq == u.seq+1 {
+			c.waitBranchSeq = 0
+			c.fetchStallUntil = maxu(c.fetchStallUntil, c.cycle+redirectPenalty)
+		}
+	}
+	if d.SetsNZCV {
+		c.ren.SetNZCV(d.NZCV, d.Spec)
+	}
+}
+
+func (c *Core) defShared(u *uop, rd isa.Reg, n rename.Name, spec bool) {
+	if rd == isa.XZR {
+		return
+	}
+	c.ren.DefIntShared(rd, n, false, spec)
+	u.hasDst = true
+	u.dst = n
+	u.dstArch = rd
+	u.dstSpec = spec
+}
+
+// tryValuePredict applies the VP rename policy for a confident prediction
+// (§3.1/§3.2). The instruction still dispatches and executes so the
+// prediction can be validated in place at the functional unit (§3.3).
+func (c *Core) tryValuePredict(u *uop, in *isa.Inst) {
+	if c.vpred == nil || !in.VPEligible() {
+		return
+	}
+	p, _ := c.pred(u.seq)
+	if !p.vpValid || !p.vpConf {
+		return
+	}
+	v := p.vpValue
+	mode := c.vpred.Mode()
+	if mode != config.GVP && !c.vpred.Representable(v) {
+		return
+	}
+	if c.vpred.Silenced(c.cycle) {
+		c.st.VPSilenced++
+		return
+	}
+	u.vpUsed = true
+	switch {
+	case v == 0:
+		c.defShared(u, in.Rd, rename.HardZero, true)
+	case v == 1:
+		c.defShared(u, in.Rd, rename.HardOne, true)
+	case mode != config.MVP && int64(v) >= -256 && int64(v) <= 255:
+		c.defShared(u, in.Rd, rename.ValueName(int64(v)), true)
+	default:
+		// GVP wide prediction: allocate a register and write the
+		// prediction to the PRF at rename (§6.1); dependents wake
+		// immediately.
+		reg := c.ren.AllocInt()
+		c.ren.DefInt(in.Rd, reg, !in.W, true)
+		c.intReadyAt[reg] = c.cycle + 1
+		u.hasDst = true
+		u.freshDst = true
+		u.dst = reg
+		u.dstArch = in.Rd
+		u.dstWide = !in.W
+		u.dstSpec = true
+		u.vpWide = true
+		c.predictedReg[reg] = u
+		c.st.VPWidePRFWrites++
+		c.st.IntPRFWrites++
+	}
+}
+
+// collectSrcs gathers the physical-register sources a µop must wait for
+// (known value names, hardwired registers, and XZR never wait and never
+// read the PRF).
+func (c *Core) collectSrcs(u *uop, in *isa.Inst, srcN, srcM rename.Operand) {
+	addInt := func(op rename.Operand) {
+		if op.Known {
+			return
+		}
+		u.srcs[u.nsrc] = srcOperand{name: op.Name}
+		u.nsrc++
+	}
+	addIntReg := func(r isa.Reg) { addInt(c.ren.SrcInt(r)) }
+	addFP := func(r isa.Reg) {
+		u.srcs[u.nsrc] = srcOperand{name: c.ren.SrcFP(r), fp: true}
+		u.nsrc++
+	}
+
+	switch in.Op {
+	case isa.ADD, isa.ADDS, isa.SUB, isa.SUBS, isa.AND, isa.ANDS,
+		isa.ORR, isa.EOR, isa.BIC, isa.LSL, isa.LSR, isa.ASR, isa.MUL,
+		isa.SDIV, isa.UDIV:
+		addInt(srcN)
+		if !in.UseImm {
+			addInt(srcM)
+		}
+	case isa.UBFM, isa.RBIT:
+		addInt(srcN)
+	case isa.MOVK:
+		addIntReg(in.Rd) // read-modify-write
+	case isa.MOVZ, isa.MOVN:
+		// no register sources
+	case isa.CSEL, isa.CSINC, isa.CSNEG:
+		addInt(srcN)
+		addInt(srcM)
+	case isa.LDR:
+		addInt(srcN)
+		if in.Mode == isa.AddrReg {
+			addInt(srcM)
+		}
+	case isa.STR:
+		addInt(srcN)
+		if in.Mode == isa.AddrReg {
+			addInt(srcM)
+		}
+		addIntReg(in.Rd) // store data
+	case isa.FLDR:
+		addInt(srcN)
+		if in.Mode == isa.AddrReg {
+			addInt(srcM)
+		}
+	case isa.FSTR:
+		addInt(srcN)
+		if in.Mode == isa.AddrReg {
+			addInt(srcM)
+		}
+		addFP(in.Rd) // store data
+	case isa.CBZ, isa.CBNZ, isa.TBZ, isa.TBNZ:
+		addInt(srcN)
+	case isa.RET, isa.BR:
+		addIntReg(in.Rn)
+	case isa.B, isa.BL, isa.BCOND:
+		// no register sources
+	case isa.FADD, isa.FSUB, isa.FMUL, isa.FDIV, isa.FCMP:
+		addFP(in.Rn)
+		addFP(in.Rm)
+	case isa.FMADD:
+		addFP(in.Rn)
+		addFP(in.Rm)
+		addFP(in.Ra)
+	case isa.FNEG, isa.FABS, isa.FMOV:
+		addFP(in.Rn)
+	case isa.SCVTF:
+		addInt(srcN)
+	case isa.FCVTZS:
+		addFP(in.Rn)
+	}
+}
+
+// renameDest allocates a fresh physical destination for a non-eliminated,
+// non-value-predicted µop.
+func (c *Core) renameDest(u *uop, in *isa.Inst) {
+	if isa.IsFP(in.Op) {
+		p := c.ren.AllocFP()
+		c.fpReadyAt[p] = neverReady
+		c.ren.DefFP(in.Rd, p)
+		u.hasDst = true
+		u.freshDst = true
+		u.dstFP = true
+		u.dst = p
+		u.dstArch = in.Rd
+		return
+	}
+	var rd isa.Reg
+	switch {
+	case in.Op == isa.BL:
+		rd = isa.LR
+	case in.Op == isa.STR || in.Op == isa.FSTR:
+		return // base updates are handled by the BaseUpdate µop
+	case in.WritesGPR():
+		rd = in.Rd
+	default:
+		return
+	}
+	if rd == isa.XZR {
+		return
+	}
+	p := c.ren.AllocInt()
+	c.intReadyAt[p] = neverReady
+	c.ren.DefInt(rd, p, !in.W, false)
+	u.hasDst = true
+	u.freshDst = true
+	u.dst = p
+	u.dstArch = rd
+	u.dstWide = !in.W
+}
+
+// attachVPTraining records the prediction lookup so the commit stage can
+// train the predictor through the VP-tracking FIFO (§3.3).
+func (c *Core) attachVPTraining(u *uop, in *isa.Inst) {
+	if c.vpred == nil || u.kind != isa.UOpMain || !in.VPEligible() {
+		return
+	}
+	if p, _ := c.pred(u.seq); p.vpValid {
+		u.vpHasLookup = true
+		u.vpLookup = p.vpLookup
+	}
+}
+
+func maxu(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,246 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// runProg builds, runs to completion, and returns the result.
+func runProg(t *testing.T, cfg *config.Machine, build func(b *prog.Builder)) Result {
+	t.Helper()
+	b := prog.NewBuilder("t")
+	build(b)
+	res := New(cfg, b.Build()).Run(0, 1<<62)
+	if !res.Halted {
+		t.Fatal("program did not halt")
+	}
+	return res
+}
+
+// straightLine emits a loop of independent single-cycle ALU work.
+func straightLine(b *prog.Builder, iters int64, body func(b *prog.Builder)) {
+	b.MovImm(isa.X9, uint64(iters))
+	top := b.Here()
+	body(b)
+	b.SubsI(isa.X9, isa.X9, 1)
+	b.BCond(isa.NE, top)
+	b.Halt()
+}
+
+func TestTakenBranchCostsFetchBubble(t *testing.T) {
+	// Loop A: straight-line body. Loop B: same work but split by an
+	// unconditional taken branch. B must be measurably slower per
+	// iteration (the 1-cycle taken-branch bubble).
+	cfg := config.Default()
+	a := runProg(t, cfg, func(b *prog.Builder) {
+		straightLine(b, 20000, func(b *prog.Builder) {
+			for i := 0; i < 6; i++ {
+				b.AddI(isa.Reg(i), isa.Reg(i), 1)
+			}
+		})
+	})
+	bres := runProg(t, cfg, func(b *prog.Builder) {
+		straightLine(b, 20000, func(b *prog.Builder) {
+			for i := 0; i < 3; i++ {
+				b.AddI(isa.Reg(i), isa.Reg(i), 1)
+			}
+			l := b.NewLabel()
+			b.B(l)
+			b.Bind(l)
+			for i := 3; i < 6; i++ {
+				b.AddI(isa.Reg(i), isa.Reg(i), 1)
+			}
+		})
+	})
+	if bres.Cycles <= a.Cycles {
+		t.Errorf("taken branch cost nothing: %d vs %d cycles", bres.Cycles, a.Cycles)
+	}
+}
+
+func TestUnpredictableBranchesHurt(t *testing.T) {
+	cfg := config.Default()
+	mk := func(random bool) Result {
+		return runProg(t, cfg, func(b *prog.Builder) {
+			b.MovImm(isa.X28, 12345)
+			b.MovImm(isa.X27, 6364136223846793005)
+			straightLine(b, 30000, func(b *prog.Builder) {
+				b.Mul(isa.X28, isa.X28, isa.X27)
+				b.AddI(isa.X28, isa.X28, 7)
+				skip := b.NewLabel()
+				if random {
+					b.LsrI(isa.X1, isa.X28, 41)
+					b.Tbz(isa.X1, 0, skip)
+				} else {
+					b.Tbz(isa.XZR, 0, skip) // always taken: learned
+				}
+				b.AddI(isa.X2, isa.X2, 1)
+				b.Bind(skip)
+			})
+		})
+	}
+	pred, rand := mk(false), mk(true)
+	if rand.Stats.BranchMispredicts < 10000 {
+		t.Errorf("LCG branch mispredicted only %d times", rand.Stats.BranchMispredicts)
+	}
+	if pred.Stats.BranchMispredicts > 200 {
+		t.Errorf("static branch mispredicted %d times", pred.Stats.BranchMispredicts)
+	}
+	if rand.Cycles < pred.Cycles*3/2 {
+		t.Errorf("mispredictions too cheap: %d vs %d cycles", rand.Cycles, pred.Cycles)
+	}
+}
+
+func TestCallsReturnViaRAS(t *testing.T) {
+	res := runProg(t, config.Default(), func(b *prog.Builder) {
+		over := b.NewLabel()
+		fn := b.NewLabel()
+		b.B(over)
+		b.Bind(fn)
+		b.AddI(isa.X1, isa.X1, 1)
+		b.Ret()
+		b.Bind(over)
+		straightLine(b, 20000, func(b *prog.Builder) {
+			b.Bl(fn)
+			b.Bl(fn)
+		})
+	})
+	if res.Stats.RASMispreds > 20 {
+		t.Errorf("RAS mispredicted %d balanced call/returns", res.Stats.RASMispreds)
+	}
+}
+
+func TestDividerContention(t *testing.T) {
+	// Back-to-back independent divides serialize on the single
+	// unpipelined divider: per-iteration time ≈ 2 × IntDivLat.
+	cfg := config.Default()
+	res := runProg(t, cfg, func(b *prog.Builder) {
+		b.MovImm(isa.X1, 1000)
+		b.MovImm(isa.X2, 7)
+		straightLine(b, 3000, func(b *prog.Builder) {
+			b.Sdiv(isa.X3, isa.X1, isa.X2) // independent of each other
+			b.Sdiv(isa.X4, isa.X1, isa.X2)
+		})
+	})
+	perIter := float64(res.Cycles) / 3000
+	if perIter < 2*float64(cfg.IntDivLat)*0.9 {
+		t.Errorf("two divides per iteration took %.1f cycles; unpipelined divider should serialize to ≈%d",
+			perIter, 2*cfg.IntDivLat)
+	}
+}
+
+func TestStoreToLoadForwarding(t *testing.T) {
+	// A store immediately reloaded: must be far cheaper than an L2 miss
+	// and must not cause memory-order flushes (the load sees the store's
+	// address in the SQ).
+	res := runProg(t, config.Default(), func(b *prog.Builder) {
+		buf := b.AllocWords(4, 0)
+		b.MovAddr(isa.X1, buf)
+		straightLine(b, 20000, func(b *prog.Builder) {
+			b.Str(isa.X9, isa.X1, 0, 8)
+			b.Ldr(isa.X2, isa.X1, 0, 8)
+			b.Add(isa.X3, isa.X3, isa.X2)
+		})
+	})
+	if res.Stats.MemOrderFlushes > 100 {
+		t.Errorf("forwarding pattern caused %d order flushes", res.Stats.MemOrderFlushes)
+	}
+	perIter := float64(res.Cycles) / 20000
+	if perIter > 20 {
+		t.Errorf("store→load iteration took %.1f cycles; forwarding broken?", perIter)
+	}
+}
+
+func TestIndirectBranchPredictionLearns(t *testing.T) {
+	res := runProg(t, config.Default(), func(b *prog.Builder) {
+		tbl := b.Alloc(8*2, 8)
+		b.MovAddr(isa.X1, tbl)
+		b.MovImm(isa.X9, 20000)
+		top := b.Here()
+		tgt := b.NewLabel()
+		join := b.NewLabel()
+		b.SetWordLabel(tbl, tgt)
+		b.Ldr(isa.X2, isa.X1, 0, 8)
+		b.Br(isa.X2) // monomorphic indirect branch
+		b.Bind(tgt)
+		b.AddI(isa.X3, isa.X3, 1)
+		b.B(join)
+		b.Bind(join)
+		b.SubsI(isa.X9, isa.X9, 1)
+		b.BCond(isa.NE, top)
+		b.Halt()
+	})
+	if float64(res.Stats.IndirectMispreds) > 0.2*20000 {
+		t.Errorf("monomorphic indirect branch mispredicted %d/20000", res.Stats.IndirectMispreds)
+	}
+}
+
+func TestFPLatencies(t *testing.T) {
+	// A serial FMADD chain is bound by FPMacLat per link.
+	cfg := config.Default()
+	res := runProg(t, cfg, func(b *prog.Builder) {
+		b.MovImm(isa.X1, 3)
+		b.Scvtf(8, isa.X1)
+		b.Scvtf(9, isa.X1)
+		b.Scvtf(10, isa.X1)
+		straightLine(b, 5000, func(b *prog.Builder) {
+			b.Fmadd(8, 8, 9, 10)
+			b.Fmadd(8, 8, 9, 10)
+		})
+	})
+	perIter := float64(res.Cycles) / 5000
+	want := 2 * float64(cfg.FPMacLat)
+	if perIter < want*0.9 || perIter > want*1.6 {
+		t.Errorf("FMADD chain: %.2f cycles/iter, want ≈ %.0f", perIter, want)
+	}
+}
+
+func TestLoadLatencyL1(t *testing.T) {
+	// A carried pointer chase over a single hot line: per-iteration time
+	// ≈ AGU + L1 load-to-use.
+	cfg := config.Default()
+	res := runProg(t, cfg, func(b *prog.Builder) {
+		node := b.Alloc(64, 64)
+		b.SetWord(node, node)
+		b.MovAddr(isa.X1, node)
+		straightLine(b, 20000, func(b *prog.Builder) {
+			b.Ldr(isa.X1, isa.X1, 0, 8)
+		})
+	})
+	perIter := float64(res.Cycles) / 20000
+	want := float64(cfg.L1D.LoadToUse + 1)
+	if perIter < want*0.9 || perIter > want*1.5 {
+		t.Errorf("L1 chase: %.2f cycles/iter, want ≈ %.0f", perIter, want)
+	}
+}
+
+func TestROBLimitsWindow(t *testing.T) {
+	// With a long-latency carried chase, shrinking the ROB below one
+	// chase round-trip of independent filler must reduce IPC.
+	big := config.Default()
+	small := config.Default()
+	small.ROBSize = 32
+	small.IQSize = 16
+	// Independent long-latency misses (streaming over a DRAM-sized
+	// region): memory-level parallelism is bounded by how many loads fit
+	// in the instruction window.
+	build := func(b *prog.Builder) {
+		base := b.Alloc(1<<20, 64)
+		b.MovAddr(isa.X2, base)
+		straightLine(b, 800, func(b *prog.Builder) {
+			b.LdrPost(isa.X3, isa.X2, 1024, 8) // independent miss
+			b.Add(isa.X4, isa.X4, isa.X3)
+			for i := 0; i < 6; i++ {
+				r := isa.Reg(12 + i) // keep clear of the X9 loop counter
+				b.AddI(r, r, 1)
+			}
+		})
+	}
+	a := runProg(t, big, build)
+	bres := runProg(t, small, build)
+	if bres.Stats.IPC() >= a.Stats.IPC() {
+		t.Errorf("small window IPC %.3f ≥ big window %.3f", bres.Stats.IPC(), a.Stats.IPC())
+	}
+}

@@ -1,0 +1,448 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// phaseChangeProgram loads a slot, at a single static PC, whose value
+// alternates between 0 and 1 every 8192 iterations: long enough for the
+// FPC to saturate within a phase, so every boundary produces a used
+// misprediction (and, for MVP/TVP, a flush of the predicted instruction).
+func phaseChangeProgram() *prog.Program {
+	b := prog.NewBuilder("phase")
+	slot := b.AllocWords(1, 0)
+	b.MovAddr(isa.X1, slot)
+	b.MovImm(isa.X2, 60000)
+	top := b.Here()
+	b.AddI(isa.X8, isa.X8, 1)
+	b.LsrI(isa.X6, isa.X8, 13)
+	b.AndI(isa.X6, isa.X6, 1)
+	b.Str(isa.X6, isa.X1, 0, 8)
+	b.Nop()
+	b.Nop()
+	b.Ldr(isa.X4, isa.X1, 0, 8) // phase-stable 0/1 at one PC
+	b.Add(isa.X5, isa.X5, isa.X4)
+	b.SubsI(isa.X2, isa.X2, 1)
+	b.BCond(isa.NE, top)
+	b.Halt()
+	return b.Build()
+}
+
+func TestVPFlushRecovery(t *testing.T) {
+	base := New(config.Default(), phaseChangeProgram()).Run(0, 1<<62)
+	if !base.Halted {
+		t.Fatal("baseline did not halt")
+	}
+	for _, mode := range []config.VPMode{config.MVP, config.TVP, config.GVP} {
+		res := New(config.Default().WithVP(mode), phaseChangeProgram()).Run(0, 1<<62)
+		if !res.Halted {
+			t.Fatalf("%v did not halt", mode)
+		}
+		if res.Committed != base.Committed {
+			t.Errorf("%v committed %d, baseline %d", mode, res.Committed, base.Committed)
+		}
+		st := res.Stats
+		if mode != config.GVP && st.VPFlushes == 0 {
+			t.Errorf("%v: the phase change must cause at least one value-misprediction flush", mode)
+		}
+		if st.VPIncorrectUsed == 0 {
+			t.Errorf("%v: expected a used misprediction at the phase boundary", mode)
+		}
+		if acc := st.VPAccuracy(); acc < 0.99 {
+			t.Errorf("%v: accuracy %.4f — silencing should confine the damage", mode, acc)
+		}
+	}
+}
+
+func TestLivelockWithoutSilencing(t *testing.T) {
+	// §3.4.1: under MVP/TVP the mispredicted instruction is refetched; if
+	// the predictor immediately re-supplies the same wrong confident
+	// prediction, the machine livelocks. With SilenceCycles = 0 our
+	// deadlock watchdog must fire; with the paper's silencing it must
+	// complete.
+	cfg := config.Default().WithVP(config.MVP)
+	cfg.VP.SilenceCycles = 0
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected livelock (watchdog panic) without silencing")
+			}
+		}()
+		New(cfg, phaseChangeProgram()).Run(0, 1<<62)
+	}()
+
+	ok := config.Default().WithVP(config.MVP)
+	ok.VP.SilenceCycles = 15
+	res := New(ok, phaseChangeProgram()).Run(0, 1<<62)
+	if !res.Halted {
+		t.Error("15-cycle silencing must be sufficient for liveness (§3.4.1)")
+	}
+}
+
+// aliasProgram forces a memory-order violation: a store and a dependent
+// load to the same address where the store's address generation is
+// delayed behind a long divide chain, so the load issues first.
+func aliasProgram() *prog.Program {
+	b := prog.NewBuilder("alias")
+	buf := b.AllocWords(4, 5)
+	b.MovAddr(isa.X1, buf)
+	b.MovImm(isa.X9, 3)
+	b.MovImm(isa.X2, 20000)
+	top := b.Here()
+	// Slow chain gating the store's data and address offset.
+	b.Sdiv(isa.X3, isa.X2, isa.X9)
+	b.Sdiv(isa.X3, isa.X3, isa.X9)
+	b.AndI(isa.X4, isa.X3, 0) // always 0, but dataflow-dependent
+	b.StrR(isa.X2, isa.X1, isa.X4, 3, 8)
+	b.Ldr(isa.X5, isa.X1, 0, 8) // aliases the store
+	b.Add(isa.X6, isa.X6, isa.X5)
+	b.SubsI(isa.X2, isa.X2, 1)
+	b.BCond(isa.NE, top)
+	b.Halt()
+	return b.Build()
+}
+
+func TestMemoryOrderViolationAndStoreSetTraining(t *testing.T) {
+	res := New(config.Default(), aliasProgram()).Run(0, 1<<62)
+	if !res.Halted {
+		t.Fatal("did not halt")
+	}
+	st := res.Stats
+	if st.MemOrderFlushes == 0 {
+		t.Fatal("expected at least one memory-order violation")
+	}
+	// Store sets must learn the pair: violations must be rare relative
+	// to iterations (20000).
+	if st.MemOrderFlushes > 200 {
+		t.Errorf("store sets failed to learn: %d violations", st.MemOrderFlushes)
+	}
+}
+
+func TestSpSRPreservesArchitecturalProgress(t *testing.T) {
+	p := func() *prog.Program { return loopProgram(15000) }
+	base := New(config.Default(), p()).Run(0, 1<<62)
+	for _, mode := range []config.VPMode{config.MVP, config.TVP, config.GVP} {
+		cfg := config.Default().WithVP(mode).WithSpSR(true)
+		res := New(cfg, p()).Run(0, 1<<62)
+		if res.Committed != base.Committed {
+			t.Errorf("%v+SpSR committed %d, baseline %d", mode, res.Committed, base.Committed)
+		}
+	}
+}
+
+func TestActivityCounters(t *testing.T) {
+	res := New(config.Default(), loopProgram(10000)).Run(0, 1<<62)
+	st := res.Stats
+	if st.IntPRFReads == 0 || st.IntPRFWrites == 0 {
+		t.Error("PRF activity counters silent")
+	}
+	if st.IQIssued > st.IQAdded {
+		t.Errorf("issued %d > dispatched %d", st.IQIssued, st.IQAdded)
+	}
+	if st.UOps < st.ArchInsts {
+		t.Error("µops must be at least architectural instructions")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := config.Default().WithVP(config.TVP).WithSpSR(true)
+	a := New(cfg, loopProgram(8000)).Run(1000, 1<<62)
+	b := New(cfg, loopProgram(8000)).Run(1000, 1<<62)
+	if a.Cycles != b.Cycles || a.Stats != b.Stats {
+		t.Error("identical runs diverged; the simulator must be deterministic")
+	}
+}
+
+func TestWarmupExcluded(t *testing.T) {
+	full := New(config.Default(), loopProgram(20000)).Run(0, 1<<62)
+	warm := New(config.Default(), loopProgram(20000)).Run(50_000, 1<<62)
+	if warm.Stats.ArchInsts >= full.Stats.ArchInsts {
+		t.Error("warmup instructions must be excluded from stats")
+	}
+	if warm.Committed != full.Committed {
+		t.Error("total committed must not depend on the warmup boundary")
+	}
+}
+
+func TestMaxInstsCutoff(t *testing.T) {
+	res := New(config.Default(), loopProgram(1<<30)).Run(1000, 5000)
+	if res.Committed < 6000 || res.Committed > 6000+64 {
+		t.Errorf("committed %d, want ≈ 6000 (warmup+measured, commit-width slack)", res.Committed)
+	}
+}
+
+func TestBranchPredictionLearns(t *testing.T) {
+	res := New(config.Default(), loopProgram(20000)).Run(5000, 1<<62)
+	st := res.Stats
+	// The loop branch and modulo patterns are learnable.
+	if mpki := st.BranchMPKI(); mpki > 2 {
+		t.Errorf("MPKI %.2f on a fully predictable loop", mpki)
+	}
+}
+
+func TestFUCapabilityMaskMatchesClasses(t *testing.T) {
+	// config cap bits must line up with isa.Class values (the pipeline
+	// relies on 1<<class).
+	pairs := []struct {
+		cap uint32
+		cl  isa.Class
+	}{
+		{config.CapNop, isa.ClassNop},
+		{config.CapIntALU, isa.ClassIntALU},
+		{config.CapIntMul, isa.ClassIntMul},
+		{config.CapIntDiv, isa.ClassIntDiv},
+		{config.CapFPALU, isa.ClassFPALU},
+		{config.CapFPMul, isa.ClassFPMul},
+		{config.CapFPDiv, isa.ClassFPDiv},
+		{config.CapLoad, isa.ClassLoad},
+		{config.CapStore, isa.ClassStore},
+		{config.CapBranch, isa.ClassBranch},
+	}
+	for _, p := range pairs {
+		if p.cap != 1<<uint(p.cl) {
+			t.Errorf("capability bit mismatch for class %v", p.cl)
+		}
+	}
+}
+
+func TestEliminatedInstructionsSkipIQ(t *testing.T) {
+	// A program dominated by zero idioms: with elimination the IQ sees
+	// far fewer µops than commit does.
+	b := prog.NewBuilder("elim")
+	b.MovImm(isa.X9, 30000)
+	top := b.Here()
+	for i := 0; i < 8; i++ {
+		b.Zero(isa.X1)
+		b.Mov(isa.X2, isa.X3)
+	}
+	b.SubsI(isa.X9, isa.X9, 1)
+	b.BCond(isa.NE, top)
+	b.Halt()
+	res := New(config.Default(), b.Build()).Run(1000, 200000)
+	st := res.Stats
+	if st.ZeroIdiomElim == 0 || st.MoveElim == 0 {
+		t.Fatal("idioms not eliminated")
+	}
+	if st.IQAdded >= st.UOps {
+		t.Errorf("eliminated µops must not dispatch: IQ %d vs µops %d", st.IQAdded, st.UOps)
+	}
+}
+
+func TestGVPWideSilentRepair(t *testing.T) {
+	// A wide stable value with a phase change and NO consumer between
+	// prediction and validation is repaired silently under GVP (§3.4.2):
+	// flushes must be strictly fewer than used mispredictions... here we
+	// simply check that GVP completes and flushes at most once per phase
+	// change.
+	b := prog.NewBuilder("wide")
+	slot := b.AllocWords(1, 1<<20)
+	b.MovAddr(isa.X1, slot)
+	b.MovImm(isa.X2, 30000)
+	top := b.Here()
+	b.Ldr(isa.X4, isa.X1, 0, 8) // stable wide value, result unused
+	b.SubsI(isa.X2, isa.X2, 1)
+	b.BCond(isa.NE, top)
+	b.MovImm(isa.X6, 1<<21)
+	b.Str(isa.X6, isa.X1, 0, 8)
+	b.MovImm(isa.X2, 5000)
+	top2 := b.Here()
+	b.Ldr(isa.X4, isa.X1, 0, 8)
+	b.SubsI(isa.X2, isa.X2, 1)
+	b.BCond(isa.NE, top2)
+	b.Halt()
+	res := New(config.Default().WithVP(config.GVP), b.Build()).Run(0, 1<<62)
+	if !res.Halted {
+		t.Fatal("GVP run did not halt")
+	}
+	st := res.Stats
+	if st.VPIncorrectUsed == 0 {
+		t.Skip("no used prediction at the boundary (confidence timing)")
+	}
+	if st.VPFlushes > st.VPIncorrectUsed {
+		t.Errorf("flushes %d exceed used mispredictions %d", st.VPFlushes, st.VPIncorrectUsed)
+	}
+}
+
+func TestGVPWidePRFWriteAccounting(t *testing.T) {
+	// A stable wide value predicted under GVP costs a PRF write at rename
+	// (the prediction) in addition to the writeback (Fig. 6's extra GVP
+	// write traffic).
+	b := prog.NewBuilder("wideacct")
+	slot := b.AllocWords(1, 1<<20)
+	b.MovAddr(isa.X1, slot)
+	b.MovImm(isa.X2, 40000)
+	top := b.Here()
+	b.Ldr(isa.X4, isa.X1, 0, 8)
+	b.Add(isa.X5, isa.X5, isa.X4)
+	b.SubsI(isa.X2, isa.X2, 1)
+	b.BCond(isa.NE, top)
+	b.Halt()
+
+	base := New(config.Default(), b.Build()).Run(5000, 100000)
+	gvp := New(config.Default().WithVP(config.GVP), b.Build()).Run(5000, 100000)
+	if gvp.Stats.VPWidePRFWrites == 0 {
+		t.Fatal("no wide predictions recorded")
+	}
+	if gvp.Stats.IntPRFWrites <= base.Stats.IntPRFWrites {
+		t.Errorf("GVP wide predictions must add PRF writes: %d vs baseline %d",
+			gvp.Stats.IntPRFWrites, base.Stats.IntPRFWrites)
+	}
+}
+
+func TestVPReducesPRFTraffic(t *testing.T) {
+	// MVP/TVP deliver predictions through renaming: used predictions
+	// must reduce both PRF reads (consumers mux the name) and writes
+	// (no destination register), Fig. 6's headline.
+	p := func() *prog.Program {
+		b := prog.NewBuilder("traffic")
+		slot := b.AllocWords(1, 0)
+		b.MovAddr(isa.X1, slot)
+		b.MovImm(isa.X2, 40000)
+		top := b.Here()
+		b.Ldr(isa.X4, isa.X1, 0, 8) // stable 0
+		b.Add(isa.X5, isa.X5, isa.X4)
+		b.Add(isa.X6, isa.X6, isa.X4)
+		b.SubsI(isa.X2, isa.X2, 1)
+		b.BCond(isa.NE, top)
+		b.Halt()
+		return b.Build()
+	}
+	base := New(config.Default(), p()).Run(5000, 100000)
+	mvp := New(config.Default().WithVP(config.MVP), p()).Run(5000, 100000)
+	if mvp.Stats.VPCorrectUsed == 0 {
+		t.Fatal("stable zero not predicted")
+	}
+	if mvp.Stats.IntPRFWrites >= base.Stats.IntPRFWrites {
+		t.Errorf("MVP writes %d ≥ baseline %d", mvp.Stats.IntPRFWrites, base.Stats.IntPRFWrites)
+	}
+	if mvp.Stats.IntPRFReads >= base.Stats.IntPRFReads {
+		t.Errorf("MVP reads %d ≥ baseline %d", mvp.Stats.IntPRFReads, base.Stats.IntPRFReads)
+	}
+}
+
+func TestSpSRChainsThroughPredictions(t *testing.T) {
+	// A predicted 0 should cascade: the add reduces to a move, the ands
+	// to a zero-idiom with known NZCV, and the dependent csel and b.eq
+	// resolve — all without executing (§4.2's NZCV chaining).
+	b := prog.NewBuilder("chain")
+	slot := b.AllocWords(1, 0)
+	b.MovAddr(isa.X1, slot)
+	b.MovImm(isa.X2, 40000)
+	top := b.Here()
+	b.Ldr(isa.X4, isa.X1, 0, 8)            // stable 0 → predicted
+	b.Add(isa.X5, isa.X9, isa.X4)          // → SpSR move
+	b.Ands(isa.X6, isa.X4, isa.X9)         // → SpSR zero + NZCV{Z}
+	b.Csel(isa.X7, isa.X5, isa.X6, isa.EQ) // → SpSR move (NZCV known)
+	skip := b.NewLabel()
+	b.BCond(isa.NE, skip) // → SpSR resolved not-taken
+	b.AddI(isa.X9, isa.X9, 1)
+	b.Bind(skip)
+	b.SubsI(isa.X2, isa.X2, 1)
+	b.BCond(isa.NE, top)
+	b.Halt()
+
+	cfg := config.Default().WithVP(config.MVP).WithSpSR(true)
+	res := New(cfg, b.Build()).Run(5000, 100000)
+	st := res.Stats
+	if st.SpSRMove == 0 || st.SpSRZero == 0 || st.SpSRBranch == 0 || st.SpSRCondSelect == 0 {
+		t.Errorf("cascade incomplete: move=%d zero=%d branch=%d csel=%d",
+			st.SpSRMove, st.SpSRZero, st.SpSRBranch, st.SpSRCondSelect)
+	}
+	if st.SpSRElim < 3*st.ArchInsts/10 {
+		t.Errorf("only %d of %d instructions SpSR'd in an idiom-saturated loop", st.SpSRElim, st.ArchInsts)
+	}
+}
+
+func TestValidateAtRetire(t *testing.T) {
+	// The EOLE-style retire-time validation (§2.2) must preserve
+	// architectural progress, still catch the phase-boundary
+	// mispredictions, and charge the extra PRF read per validation.
+	exec := config.Default().WithVP(config.TVP)
+	retire := config.Default().WithVP(config.TVP)
+	retire.VP.ValidateAtRetire = true
+
+	a := New(exec, phaseChangeProgram()).Run(0, 1<<62)
+	b := New(retire, phaseChangeProgram()).Run(0, 1<<62)
+	if !b.Halted || b.Committed != a.Committed {
+		t.Fatalf("retire validation broke progress: %d vs %d", b.Committed, a.Committed)
+	}
+	if b.Stats.VPIncorrectUsed == 0 {
+		t.Error("retire validation missed the phase-boundary mispredictions")
+	}
+	if b.Stats.VPCorrectUsed == 0 {
+		t.Error("retire validation recorded no correct used predictions")
+	}
+	// Extra PRF read per used prediction.
+	used := b.Stats.VPCorrectUsed + b.Stats.VPIncorrectUsed
+	if b.Stats.IntPRFReads < a.Stats.IntPRFReads+used/2 {
+		t.Errorf("retire validation should add ≈%d PRF reads (exec %d, retire %d)",
+			used, a.Stats.IntPRFReads, b.Stats.IntPRFReads)
+	}
+}
+
+// collectTracer records events for assertions.
+type collectTracer struct{ events []TraceEvent }
+
+func (c *collectTracer) Event(ev TraceEvent) { c.events = append(c.events, ev) }
+
+func TestTracerStageOrdering(t *testing.T) {
+	tr := &collectTracer{}
+	core := New(config.Default(), loopProgram(500))
+	core.SetTracer(tr)
+	core.Run(0, 1<<62)
+	if len(tr.events) == 0 {
+		t.Fatal("no trace events")
+	}
+	// Per (seq, uop) the stage timestamps must be monotone in pipeline
+	// order for non-eliminated µops.
+	type key struct {
+		seq uint64
+		ix  uint8
+	}
+	last := map[key]TraceEvent{}
+	for _, ev := range tr.events {
+		k := key{ev.Seq, ev.UopIx}
+		if prev, ok := last[k]; ok && prev.Stage != StageSquash && ev.Stage != StageRename {
+			if ev.Cycle < prev.Cycle {
+				t.Fatalf("seq %d: %v@%d after %v@%d", ev.Seq, ev.Stage, ev.Cycle, prev.Stage, prev.Cycle)
+			}
+			if !ev.Eliminated && ev.Stage <= prev.Stage && ev.Stage != StageSquash && prev.Stage != StageCommit {
+				t.Fatalf("seq %d: stage %v follows %v", ev.Seq, ev.Stage, prev.Stage)
+			}
+		}
+		last[k] = ev
+	}
+	// Every commit must have been preceded by a rename of the same µop.
+	seen := map[key]bool{}
+	for _, ev := range tr.events {
+		k := key{ev.Seq, ev.UopIx}
+		switch ev.Stage {
+		case StageRename:
+			seen[k] = true
+		case StageCommit:
+			if !seen[k] {
+				t.Fatalf("seq %d.%d committed without rename", ev.Seq, ev.UopIx)
+			}
+		}
+	}
+}
+
+func TestPipeviewRenders(t *testing.T) {
+	var sb strings.Builder
+	pv := NewPipeview(&sb, 24)
+	core := New(config.Default().WithVP(config.MVP).WithSpSR(true), loopProgram(500))
+	core.SetTracer(pv)
+	core.Run(0, 1<<62)
+	out := sb.String()
+	if !strings.Contains(out, "seq=") || !strings.Contains(out, "c=") {
+		t.Fatalf("pipeview output malformed:\n%s", out)
+	}
+	if n := strings.Count(out, "\n"); n != 24 {
+		t.Errorf("pipeview rendered %d rows, want 24", n)
+	}
+}

@@ -1,0 +1,163 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+)
+
+// Stage identifies a pipeline event for tracing (gem5 O3-pipeview style).
+type Stage uint8
+
+// Trace stages, in pipeline order.
+const (
+	StageFetch Stage = iota
+	StageRename
+	StageDispatch
+	StageIssue
+	StageComplete
+	StageCommit
+	StageSquash
+)
+
+// String names the stage.
+func (s Stage) String() string {
+	switch s {
+	case StageFetch:
+		return "fetch"
+	case StageRename:
+		return "rename"
+	case StageDispatch:
+		return "dispatch"
+	case StageIssue:
+		return "issue"
+	case StageComplete:
+		return "complete"
+	case StageCommit:
+		return "commit"
+	case StageSquash:
+		return "squash"
+	}
+	return "stage?"
+}
+
+// TraceEvent is one observed pipeline event.
+type TraceEvent struct {
+	Cycle uint64
+	Seq   uint64 // dynamic instruction sequence number
+	UopIx uint8  // 0 = main µop, 1 = base-update µop
+	Stage Stage
+	PC    uint64
+	Inst  *isa.Inst
+	// Eliminated marks µops that completed at rename (DSR/SpSR/NOP).
+	Eliminated bool
+}
+
+// Tracer observes pipeline events. Implementations must not retain the
+// Inst pointer past the call if they outlive the run.
+type Tracer interface {
+	Event(ev TraceEvent)
+}
+
+// SetTracer attaches a tracer to the core (nil detaches). Tracing has no
+// effect on simulated timing.
+func (c *Core) SetTracer(t Tracer) { c.tracer = t }
+
+func (c *Core) trace(u *uop, s Stage) {
+	if c.tracer == nil {
+		return
+	}
+	var ix uint8
+	if u.kind == isa.UOpBaseUpdate {
+		ix = 1
+	}
+	c.tracer.Event(TraceEvent{
+		Cycle:      c.cycle,
+		Seq:        u.seq,
+		UopIx:      ix,
+		Stage:      s,
+		PC:         u.dyn.PC,
+		Inst:       u.dyn.Inst,
+		Eliminated: u.eliminated,
+	})
+}
+
+// Pipeview collects per-µop stage timestamps and renders a compact
+// text pipeline view of the first Limit committed µops, in commit order:
+//
+//	seq=102.0 0x400120 add x1, x2, x3      r=210 d=212 i=214 p=215 c=218
+//	seq=103.0 0x400124 eor x2, x2, x2      r=210 [eliminated] c=218
+//
+// (r=rename, d=dispatch, i=issue, p=complete, c=commit; fetch is per
+// architectural instruction and shown as f.)
+type Pipeview struct {
+	// Limit caps the number of committed µops rendered (0 = no cap).
+	Limit int
+
+	w       io.Writer
+	printed int
+	live    map[uint64]*pvRow // keyed by seq<<1|uopIx
+}
+
+type pvRow struct {
+	stamps     [StageSquash + 1]int64 // -1 = not seen
+	eliminated bool
+	pc         uint64
+	disasm     string
+}
+
+// NewPipeview returns a tracer writing the view to w.
+func NewPipeview(w io.Writer, limit int) *Pipeview {
+	return &Pipeview{Limit: limit, w: w, live: map[uint64]*pvRow{}}
+}
+
+// Event implements Tracer.
+func (p *Pipeview) Event(ev TraceEvent) {
+	if p.Limit > 0 && p.printed >= p.Limit {
+		return
+	}
+	key := ev.Seq<<1 | uint64(ev.UopIx)
+	row := p.live[key]
+	if row == nil || ev.Stage == StageFetch || ev.Stage == StageRename && row.stamps[StageCommit] >= 0 {
+		row = &pvRow{pc: ev.PC, disasm: ev.Inst.String()}
+		for i := range row.stamps {
+			row.stamps[i] = -1
+		}
+		p.live[key] = row
+	}
+	row.stamps[ev.Stage] = int64(ev.Cycle)
+	row.eliminated = row.eliminated || ev.Eliminated
+
+	switch ev.Stage {
+	case StageCommit:
+		p.flushRow(ev.Seq, ev.UopIx, row)
+		delete(p.live, key)
+	case StageSquash:
+		delete(p.live, key) // squashed µops re-run; drop the partial row
+	}
+}
+
+func (p *Pipeview) flushRow(seq uint64, ix uint8, row *pvRow) {
+	if p.Limit > 0 && p.printed >= p.Limit {
+		return
+	}
+	p.printed++
+	line := fmt.Sprintf("seq=%d.%d %#x %-36s", seq, ix, row.pc, row.disasm)
+	add := func(label string, st Stage) {
+		if row.stamps[st] >= 0 {
+			line += fmt.Sprintf(" %s=%d", label, row.stamps[st])
+		}
+	}
+	add("f", StageFetch)
+	add("r", StageRename)
+	if row.eliminated {
+		line += " [eliminated]"
+	} else {
+		add("d", StageDispatch)
+		add("i", StageIssue)
+		add("p", StageComplete)
+	}
+	add("c", StageCommit)
+	fmt.Fprintln(p.w, line)
+}

@@ -1,0 +1,111 @@
+// Package pipeline implements the cycle-level out-of-order core of the
+// paper's Table 2: an 11-stage, 8-wide machine with a 315-entry ROB,
+// 92-entry IQ, 74/53-entry load/store queues, 292+292 physical registers,
+// TAGE branch prediction, optional MVP/TVP/GVP value prediction with
+// in-place validation at the functional units, baseline move and 0/1-idiom
+// elimination, optional 9-bit idiom elimination and speculative strength
+// reduction at rename, Store Sets memory dependence prediction, and the
+// Table 2 cache/TLB/prefetcher hierarchy.
+//
+// The core is trace-fed: a functional emulator (internal/emu) runs ahead
+// and the pipeline consumes its correct-path dynamic stream. Branch
+// mispredictions stall fetch until the branch resolves; value
+// mispredictions and memory order violations flush by rewinding the
+// stream (see DESIGN.md for the fidelity argument).
+package pipeline
+
+import (
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/rename"
+	"repro/internal/vp"
+)
+
+// uopState tracks a µop's progress through the backend.
+type uopState uint8
+
+const (
+	// stRenamed: in the ROB, waiting for dispatch.
+	stRenamed uopState = iota
+	// stDispatched: in the IQ (and LQ/SQ if memory), waiting to issue.
+	stDispatched
+	// stIssued: executing on a functional unit.
+	stIssued
+	// stDone: executed (or rename-eliminated); awaiting commit.
+	stDone
+)
+
+// srcOperand is one renamed source of a µop.
+type srcOperand struct {
+	name rename.Name
+	fp   bool
+}
+
+// uop is an in-flight micro-operation. µops live in the ROB ring; pointers
+// to them are valid from rename until commit or squash.
+type uop struct {
+	dyn   *emu.DynInst
+	seq   uint64 // architectural dynamic sequence number (dyn.Seq)
+	kind  isa.UOpKind
+	class isa.Class
+	last  bool // last µop of its architectural instruction
+
+	state       uopState
+	renameCycle uint64
+	readyCycle  uint64 // cycle the result becomes available once issued
+	fu          int    // functional unit index while issued
+
+	// Renamed operands.
+	srcs        [4]srcOperand
+	nsrc        int
+	flagW       bool // writes NZCV at execute
+	flagR       bool // reads NZCV at execute
+	flagSrc     *uop // producing flag writer still in flight at rename
+	flagSrcUSeq uint64
+
+	// Destination.
+	hasDst   bool
+	dstFP    bool
+	dstArch  isa.Reg
+	dst      rename.Name
+	dstWide  bool
+	dstSpec  bool
+	freshDst bool // dst came from the free list (vs shared/hardwired/value)
+
+	// Unique µop sequence for flag dependences and ordering.
+	uSeq uint64
+
+	// Rename-time elimination.
+	eliminated  bool
+	elim        rename.Decision
+	moveBlocked bool
+
+	// Value prediction.
+	vpHasLookup bool      // a prediction was made for this instruction
+	vpLookup    vp.Lookup // training metadata (FIFO entry)
+	vpUsed      bool      // the prediction was consumed by renaming the dest
+	vpWide      bool      // GVP: prediction written to the PRF (not inlined)
+	vpConsumed  bool      // GVP: a dependent read the predicted register
+
+	// Branch state (main µop of branch instructions).
+	isBranch      bool
+	resolvedEarly bool // SpSR resolved the branch at rename
+
+	// Memory state.
+	isLoad, isStore bool
+	ea              uint64
+	memSize         uint8
+	memDepSeq       uint64 // store (dyn) seq this op must wait for; 0 = none
+	executedMem     bool   // address generated / access performed
+	storePC         uint64 // PC for store-set training
+}
+
+// overlaps reports whether two accesses [a, a+as) and [b, b+bs) intersect.
+func overlaps(a uint64, as uint8, b uint64, bs uint8) bool {
+	return a < b+uint64(bs) && b < a+uint64(as)
+}
+
+// contains reports whether [b, b+bs) fully contains [a, a+as).
+func contains(a uint64, as uint8, b uint64, bs uint8) bool {
+	return b <= a && a+uint64(as) <= b+uint64(bs)
+}

@@ -1,0 +1,182 @@
+package prog
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestLabelsForwardBackward(t *testing.T) {
+	b := NewBuilder("t")
+	fwd := b.NewLabel()
+	top := b.Here() // index 0
+	b.Nop()
+	b.B(fwd)
+	b.B(top)
+	b.Bind(fwd)
+	b.Nop()
+	p := b.Build()
+	if p.Code[1].Target != 3 {
+		t.Errorf("forward branch target = %d, want 3", p.Code[1].Target)
+	}
+	if p.Code[2].Target != 0 {
+		t.Errorf("backward branch target = %d, want 0", p.Code[2].Target)
+	}
+}
+
+func TestUnboundLabelPanics(t *testing.T) {
+	b := NewBuilder("t")
+	l := b.NewLabel()
+	b.B(l)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Build with unbound label must panic")
+		}
+	}()
+	b.Build()
+}
+
+func TestDoubleBindPanics(t *testing.T) {
+	b := NewBuilder("t")
+	l := b.NewLabel()
+	b.Bind(l)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Bind must panic")
+		}
+	}()
+	b.Bind(l)
+}
+
+func TestAllocAlignmentAndInit(t *testing.T) {
+	b := NewBuilder("t")
+	a1 := b.Alloc(100, 64)
+	a2 := b.Alloc(8, 64)
+	if a1%64 != 0 || a2%64 != 0 {
+		t.Errorf("allocations not aligned: %#x %#x", a1, a2)
+	}
+	if a2 < a1+100 {
+		t.Error("allocations overlap")
+	}
+	w := b.AllocWords(4, 1, 2, 3)
+	b.SetWord(w+24, 99)
+	p := b.Build()
+	var seg *Segment
+	for i := range p.Data {
+		if p.Data[i].Base == w {
+			seg = &p.Data[i]
+		}
+	}
+	if seg == nil {
+		t.Fatal("word segment missing")
+	}
+	vals := []uint64{1, 2, 3, 99}
+	for i, want := range vals {
+		if got := binary.LittleEndian.Uint64(seg.Bytes[i*8:]); got != want {
+			t.Errorf("word %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestSetWordOutOfRangePanics(t *testing.T) {
+	b := NewBuilder("t")
+	b.Alloc(8, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetWord outside allocations must panic")
+		}
+	}()
+	b.SetWord(0xdead0000, 1)
+}
+
+func TestSetWordLabel(t *testing.T) {
+	b := NewBuilder("t")
+	tbl := b.Alloc(16, 8)
+	l := b.NewLabel()
+	b.SetWordLabel(tbl+8, l)
+	b.Nop()
+	b.Nop()
+	b.Bind(l)
+	b.Nop()
+	p := b.Build()
+	got := binary.LittleEndian.Uint64(p.Data[0].Bytes[8:])
+	if got != PC(2) {
+		t.Errorf("jump table slot = %#x, want %#x", got, PC(2))
+	}
+}
+
+func TestHaltAppended(t *testing.T) {
+	b := NewBuilder("t")
+	b.Nop()
+	p := b.Build()
+	if p.Code[len(p.Code)-1].Op != isa.HALT {
+		t.Error("Build must append HALT")
+	}
+	b2 := NewBuilder("t2")
+	b2.Halt()
+	p2 := b2.Build()
+	if len(p2.Code) != 1 {
+		t.Error("explicit HALT must not be duplicated")
+	}
+}
+
+func TestMovImmLengths(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 1}, {1, 1}, {0xffff, 1}, {0x10000, 1}, {0x12340000, 1},
+		{0x123456789abcdef0, 4}, {0xffff0000ffff, 2}, // zero halfword skipped
+	}
+	for _, tc := range cases {
+		b := NewBuilder("t")
+		b.MovImm(isa.X0, tc.v)
+		b.Halt()
+		p := b.Build()
+		if got := len(p.Code) - 1; got != tc.want {
+			t.Errorf("MovImm(%#x) emitted %d insts, want %d", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestPCIndexRoundTrip(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		if got := Index(PC(i), 100); got != i {
+			t.Fatalf("Index(PC(%d)) = %d", i, got)
+		}
+	}
+	if Index(PC(100), 100) != -1 {
+		t.Error("out-of-range PC must map to -1")
+	}
+	if Index(TextBase+2, 100) != -1 {
+		t.Error("misaligned PC must map to -1")
+	}
+	if Index(TextBase-4, 100) != -1 {
+		t.Error("below-text PC must map to -1")
+	}
+}
+
+func TestCsetEncoding(t *testing.T) {
+	b := NewBuilder("t")
+	b.Cset(isa.X1, isa.EQ)
+	p := b.Build()
+	in := p.Code[0]
+	// cset x1, eq == csinc x1, xzr, xzr, ne
+	if in.Op != isa.CSINC || in.Rn != isa.XZR || in.Rm != isa.XZR || in.Cond != isa.NE {
+		t.Errorf("cset encoding wrong: %+v", in)
+	}
+}
+
+func TestCmpTstEncodings(t *testing.T) {
+	b := NewBuilder("t")
+	b.Cmp(isa.X1, isa.X2)
+	b.TstI(isa.X1, 7)
+	p := b.Build()
+	if p.Code[0].Op != isa.SUBS || p.Code[0].Rd != isa.XZR {
+		t.Error("cmp must be subs xzr")
+	}
+	if p.Code[1].Op != isa.ANDS || p.Code[1].Rd != isa.XZR || !p.Code[1].UseImm {
+		t.Error("tst must be ands xzr, #imm")
+	}
+}

@@ -1,0 +1,461 @@
+package rename
+
+import (
+	"repro/internal/isa"
+)
+
+// Kind classifies what a rename-time reduction turns an instruction into.
+type Kind uint8
+
+const (
+	// KindNone: no reduction; the instruction renames and executes
+	// normally.
+	KindNone Kind = iota
+	// KindZero: the destination is renamed to the hardwired zero
+	// register (zero-idiom).
+	KindZero
+	// KindOne: the destination is renamed to the hardwired one register
+	// (one-idiom).
+	KindOne
+	// KindMove: the destination is renamed to the source operand's name
+	// (move elimination).
+	KindMove
+	// KindValue: the destination is renamed to an inlined 9-bit signed
+	// value name (9-bit idiom elimination, or an SpSR reduction whose
+	// result is a small constant other than 0/1; TVP/GVP only).
+	KindValue
+	// KindNop: the instruction disappears entirely (flag-only updates are
+	// carried by the frontend NZCV register).
+	KindNop
+	// KindBranch: a conditional branch resolved at rename.
+	KindBranch
+)
+
+// String names the reduction kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindZero:
+		return "zero-idiom"
+	case KindOne:
+		return "one-idiom"
+	case KindMove:
+		return "move-idiom"
+	case KindValue:
+		return "value-idiom"
+	case KindNop:
+		return "nop"
+	case KindBranch:
+		return "branch-resolved"
+	}
+	return "kind?"
+}
+
+// Origin records which rename optimization produced a reduction, for the
+// Fig. 4 accounting.
+type Origin uint8
+
+const (
+	// OriginNone: no reduction.
+	OriginNone Origin = iota
+	// OriginZeroOne: baseline 0/1-idiom elimination (opcode-visible).
+	OriginZeroOne
+	// OriginMove: baseline move elimination (opcode-visible).
+	OriginMove
+	// OriginNineBit: 9-bit signed integer idiom elimination (§3.2.2).
+	OriginNineBit
+	// OriginSpSR: the Table 1 speculative strength reduction engine.
+	OriginSpSR
+)
+
+// Decision is the outcome of the rename-time reduction engine for one
+// instruction.
+type Decision struct {
+	Kind   Kind
+	Origin Origin
+	// MoveOp is the operand whose name the destination takes (KindMove).
+	MoveOp Operand
+	// Value is the inlined constant (KindValue).
+	Value int64
+	// SetsNZCV reports that the reduced instruction's flag side effects
+	// are known; NZCV carries them (written to the frontend register and,
+	// conceptually, the hardwired backend NZCV registers, §4.2).
+	SetsNZCV bool
+	NZCV     isa.Flags
+	// Taken is the resolved direction (KindBranch).
+	Taken bool
+	// Spec reports whether the reduction consumed speculative (value
+	// predicted, directly or transitively) knowledge. Non-speculative
+	// Table 1 reductions are architecturally exact; speculative ones are
+	// covered by the originating prediction's validation flush.
+	Spec bool
+}
+
+// Engine evaluates rename-time reductions. Fields select which
+// optimizations are active, matching config.Machine's knobs.
+type Engine struct {
+	// ZeroOneIdiom enables baseline 0/1-idiom elimination.
+	ZeroOneIdiom bool
+	// MoveElim enables baseline move elimination.
+	MoveElim bool
+	// NineBit enables 9-bit signed integer idiom elimination (needs
+	// TVP/GVP register name inlining).
+	NineBit bool
+	// SpSR enables the Table 1 engine.
+	SpSR bool
+	// Inline reports whether value names exist (TVP/GVP): without it,
+	// KindValue reductions are impossible and only 0/1 results reduce.
+	Inline bool
+}
+
+func known0(o Operand) bool { return o.Known && o.Value == 0 }
+func known1(o Operand) bool { return o.Known && o.Value == 1 }
+
+// moveOK applies the paper's width rule (§5): a 64-bit register may not be
+// moved into a 32-bit register unless its value is known to have zero
+// upper bits (§6.2: possible "if the 64-bit register is predicted or
+// 9-bit-signed-idiom eliminated ... when the value is not sign-extended").
+func moveOK(src Operand, w bool) bool {
+	if !w {
+		return true
+	}
+	if src.Known {
+		return src.Value >= 0 // non-negative 9-bit value: upper 55 bits zero
+	}
+	return !src.Wide
+}
+
+// valueKind maps a computed constant onto the cheapest representation the
+// hardware supports: hardwired 0/1 in every mode, inlined 9-bit values
+// when Inline. ok is false when the constant cannot be represented (the
+// instruction must then execute normally).
+func (e *Engine) valueKind(v int64) (Kind, bool) {
+	switch {
+	case v == 0:
+		return KindZero, true
+	case v == 1:
+		return KindOne, true
+	case e.Inline && v >= -256 && v <= 255:
+		return KindValue, true
+	}
+	return KindNone, false
+}
+
+// Decide evaluates, in priority order, baseline 0/1-idiom elimination,
+// baseline move elimination, 9-bit idiom elimination, and the SpSR
+// Table 1, for the integer instruction with the given renamed source
+// operands. srcN/srcM are the renamed Rn/Rm operands (srcM is ignored for
+// immediate forms). nzcv carries the frontend flags state.
+//
+// The boolean moveBlocked output reports a baseline move idiom that could
+// not be eliminated due to the 64→32-bit width rule (the paper's "Non ME
+// move" category in Fig. 4).
+func (e *Engine) Decide(in *isa.Inst, srcN, srcM Operand, nzcv isa.Flags, nzcvSpec, nzcvKnown bool) (d Decision, moveBlocked bool) {
+	// ---- Baseline DSR: zero/one idioms (§5) ----
+	if e.ZeroOneIdiom {
+		switch in.Op {
+		case isa.EOR:
+			if !in.UseImm && in.Rn == in.Rm {
+				return Decision{Kind: KindZero, Origin: OriginZeroOne}, false
+			}
+		case isa.MOVZ:
+			if in.Imm == 0 {
+				return Decision{Kind: KindZero, Origin: OriginZeroOne}, false
+			}
+			if in.Imm == 1 && in.Imm2 == 0 {
+				return Decision{Kind: KindOne, Origin: OriginZeroOne}, false
+			}
+		case isa.AND:
+			if !in.UseImm && (in.Rn == isa.XZR || in.Rm == isa.XZR) {
+				return Decision{Kind: KindZero, Origin: OriginZeroOne}, false
+			}
+		}
+	}
+
+	// ---- Baseline DSR: move elimination (§5) ----
+	if e.MoveElim && !in.UseImm {
+		var src Operand
+		isMove := false
+		switch in.Op {
+		case isa.ADD, isa.ORR, isa.EOR:
+			if in.Rn == isa.XZR && in.Rm != isa.XZR {
+				src, isMove = srcM, true
+			} else if in.Rm == isa.XZR && in.Rn != isa.XZR {
+				src, isMove = srcN, true
+			}
+		}
+		if isMove {
+			if moveOK(src, in.W) {
+				return Decision{Kind: KindMove, Origin: OriginMove, MoveOp: src, Spec: src.Spec}, false
+			}
+			moveBlocked = true
+		}
+	}
+
+	// ---- 9-bit signed integer idiom elimination (§3.2.2) ----
+	if e.NineBit && e.Inline {
+		switch in.Op {
+		case isa.MOVZ:
+			if in.Imm2 == 0 && in.Imm >= 0 && in.Imm <= 255 {
+				if k, ok := e.valueKind(in.Imm); ok {
+					return Decision{Kind: k, Origin: OriginNineBit, Value: in.Imm}, moveBlocked
+				}
+			}
+		case isa.MOVN:
+			if in.Imm2 == 0 && in.Imm >= 0 && in.Imm <= 255 {
+				v := ^in.Imm // movn produces ^(imm<<0): -(imm+1)
+				if k, ok := e.valueKind(v); ok {
+					return Decision{Kind: k, Origin: OriginNineBit, Value: v}, moveBlocked
+				}
+			}
+		}
+	}
+
+	// ---- Speculative strength reduction: Table 1 (§4) ----
+	if e.SpSR {
+		if sd, ok := e.table1(in, srcN, srcM, nzcv, nzcvSpec, nzcvKnown); ok {
+			return sd, moveBlocked
+		}
+	}
+
+	return Decision{Kind: KindNone}, moveBlocked
+}
+
+// table1 implements every idiom row of the paper's Table 1.
+func (e *Engine) table1(in *isa.Inst, srcN, srcM Operand, nzcv isa.Flags, nzcvSpec, nzcvKnown bool) (Decision, bool) {
+	spec2 := srcN.Spec || srcM.Spec
+	specN := srcN.Spec
+
+	move := func(src Operand, spec bool) (Decision, bool) {
+		if !moveOK(src, in.W) {
+			return Decision{}, false
+		}
+		return Decision{Kind: KindMove, Origin: OriginSpSR, MoveOp: src, Spec: spec}, true
+	}
+	value := func(v int64, spec bool) (Decision, bool) {
+		if k, ok := e.valueKind(v); ok {
+			return Decision{Kind: k, Origin: OriginSpSR, Value: v, Spec: spec}, true
+		}
+		return Decision{}, false
+	}
+
+	switch in.Op {
+	case isa.SUB:
+		if in.UseImm {
+			// sub dst, src0, #1 : zero-idiom when src0 == 0x1.
+			if in.Imm == 1 && known1(srcN) {
+				return value(0, specN)
+			}
+			return Decision{}, false
+		}
+		// sub dst, src0, src1.
+		if known0(srcM) { // src1 == 0x0 → move-idiom
+			return move(srcN, srcM.Spec)
+		}
+		if known1(srcN) && known1(srcM) { // 1-1 → zero-idiom
+			return value(0, spec2)
+		}
+
+	case isa.ADD, isa.ORR, isa.EOR:
+		if in.UseImm {
+			// add/orr/xor dst, src0, #1 : one-idiom when src0 == 0x0.
+			if in.Imm == 1 && known0(srcN) {
+				return value(1, specN)
+			}
+			return Decision{}, false
+		}
+		// add/orr/xor dst, src0, src1 : move-idiom on a zero source.
+		if known0(srcN) {
+			return move(srcM, srcN.Spec)
+		}
+		if known0(srcM) {
+			return move(srcN, srcM.Spec)
+		}
+
+	case isa.AND:
+		if in.UseImm {
+			// and dst, src0, #1 : zero-idiom (src0==0) / one-idiom (src0==1);
+			// and dst, src0, #imm : zero-idiom when src0 == 0x0.
+			if known0(srcN) {
+				return value(0, specN)
+			}
+			if in.Imm == 1 && known1(srcN) {
+				return value(1, specN)
+			}
+			return Decision{}, false
+		}
+		if known0(srcN) {
+			return value(0, specN)
+		}
+		if known0(srcM) {
+			return value(0, srcM.Spec)
+		}
+
+	case isa.LSR, isa.LSL, isa.ASR:
+		// shr/shl dst, src0, ... : zero-idiom when src0 == 0x0;
+		// register form: move-idiom when the shift amount is 0x0.
+		if known0(srcN) {
+			return value(0, specN)
+		}
+		if !in.UseImm && known0(srcM) {
+			return move(srcN, srcM.Spec)
+		}
+
+	case isa.UBFM:
+		if known0(srcN) {
+			return value(0, specN)
+		}
+
+	case isa.BIC:
+		// bic dst, src0, x : src0==0 → zero-idiom; x==0 → move-idiom.
+		if known0(srcN) {
+			return value(0, specN)
+		}
+		if in.UseImm {
+			if in.Imm == 0 {
+				return move(srcN, false)
+			}
+		} else if known0(srcM) {
+			return move(srcN, srcM.Spec)
+		}
+
+	case isa.RBIT:
+		if known0(srcN) {
+			return value(0, specN)
+		}
+
+	case isa.ANDS:
+		// ands: a zero source forces result 0x0 and NZCV = {N0,Z1,C0,V0},
+		// fully eliminable given hardwired flag registers (§4.2).
+		zeroSrc := known0(srcN) || (!in.UseImm && known0(srcM))
+		if zeroSrc {
+			spec := specN
+			if !in.UseImm && known0(srcM) && !known0(srcN) {
+				spec = srcM.Spec
+			}
+			d := Decision{Origin: OriginSpSR, SetsNZCV: true, NZCV: isa.ZeroResultFlags(), Spec: spec}
+			if in.Rd == isa.XZR {
+				d.Kind = KindNop
+				return d, true
+			}
+			d.Kind = KindZero
+			return d, true
+		}
+		// ands with both sources 0x1: result 0x1, flags all clear.
+		oneOne := known1(srcN) && ((in.UseImm && in.Imm == 1) || (!in.UseImm && known1(srcM)))
+		if oneOne {
+			d := Decision{Origin: OriginSpSR, SetsNZCV: true, NZCV: 0, Spec: spec2}
+			if in.Rd == isa.XZR {
+				d.Kind = KindNop
+				return d, true
+			}
+			d.Kind = KindOne
+			return d, true
+		}
+
+	case isa.SUBS, isa.ADDS:
+		// subs/adds with both operands in {0x0, 0x1}: result and flags
+		// are computable at rename.
+		var a, b int64
+		var bKnown, bSpec bool
+		if !srcN.Known || srcN.Value < 0 || srcN.Value > 1 {
+			return Decision{}, false
+		}
+		a = srcN.Value
+		if in.UseImm {
+			b, bKnown = in.Imm, true
+		} else if srcM.Known {
+			b, bKnown, bSpec = srcM.Value, true, srcM.Spec
+		}
+		if !bKnown || b < 0 || b > 1 {
+			return Decision{}, false
+		}
+		spec := srcN.Spec || bSpec
+		var res int64
+		var f isa.Flags
+		if in.Op == isa.SUBS {
+			res = a - b
+			if res < 0 {
+				f |= isa.FlagN
+			}
+			if res == 0 {
+				f |= isa.FlagZ
+			}
+			if a >= b {
+				f |= isa.FlagC
+			}
+		} else {
+			res = a + b
+			if res == 0 {
+				f |= isa.FlagZ
+			}
+		}
+		d := Decision{Origin: OriginSpSR, SetsNZCV: true, NZCV: f, Spec: spec}
+		if in.Rd == isa.XZR {
+			d.Kind = KindNop
+			return d, true
+		}
+		if k, ok := e.valueKind(res); ok {
+			d.Kind = k
+			d.Value = res
+			return d, true
+		}
+		return Decision{}, false // result not representable: must execute
+
+	case isa.CBZ, isa.CBNZ:
+		if srcN.Known {
+			v := srcN.Value
+			if in.W {
+				v = int64(uint32(v))
+			}
+			taken := v == 0
+			if in.Op == isa.CBNZ {
+				taken = !taken
+			}
+			return Decision{Kind: KindBranch, Origin: OriginSpSR, Taken: taken, Spec: srcN.Spec}, true
+		}
+
+	case isa.TBZ, isa.TBNZ:
+		if srcN.Known {
+			bit := uint64(srcN.Value) >> (uint(in.Imm) & 63) & 1
+			taken := bit == 0
+			if in.Op == isa.TBNZ {
+				taken = !taken
+			}
+			return Decision{Kind: KindBranch, Origin: OriginSpSR, Taken: taken, Spec: srcN.Spec}, true
+		}
+
+	case isa.BCOND:
+		if nzcvKnown {
+			return Decision{Kind: KindBranch, Origin: OriginSpSR, Taken: in.Cond.Holds(nzcv), Spec: nzcvSpec}, true
+		}
+
+	case isa.CSEL:
+		if nzcvKnown {
+			src := srcM
+			if in.Cond.Holds(nzcv) {
+				src = srcN
+			}
+			return move(src, nzcvSpec || src.Spec)
+		}
+
+	case isa.CSINC, isa.CSNEG:
+		if nzcvKnown {
+			if in.Cond.Holds(nzcv) {
+				return move(srcN, nzcvSpec || srcN.Spec)
+			}
+			if srcM.Known {
+				v := srcM.Value
+				if in.Op == isa.CSINC {
+					v++
+				} else {
+					v = -v
+				}
+				return value(v, nzcvSpec || srcM.Spec)
+			}
+		}
+	}
+
+	return Decision{}, false
+}

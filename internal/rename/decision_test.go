@@ -1,0 +1,281 @@
+package rename
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func eng(spsr, inline bool) Engine {
+	return Engine{ZeroOneIdiom: true, MoveElim: true, NineBit: inline, SpSR: spsr, Inline: inline}
+}
+
+func known(v int64) Operand {
+	if v == 0 {
+		return Operand{Name: HardZero, Known: true, Value: 0}
+	}
+	if v == 1 {
+		return Operand{Name: HardOne, Known: true, Value: 1}
+	}
+	return Operand{Name: ValueName(v), Known: true, Value: v}
+}
+
+func spec(v int64) Operand {
+	o := known(v)
+	o.Spec = true
+	return o
+}
+
+var physW = Operand{Name: 50, Wide: true}
+var physN = Operand{Name: 51, Wide: false}
+
+func decide(t *testing.T, e Engine, in isa.Inst, srcN, srcM Operand) Decision {
+	t.Helper()
+	d, _ := e.Decide(&in, srcN, srcM, 0, false, false)
+	return d
+}
+
+func TestStaticZeroIdioms(t *testing.T) {
+	e := eng(false, false)
+	cases := []isa.Inst{
+		{Op: isa.EOR, Rd: isa.X1, Rn: isa.X2, Rm: isa.X2},  // eor x, y, y
+		{Op: isa.MOVZ, Rd: isa.X1, Imm: 0},                 // movz #0
+		{Op: isa.MOVZ, Rd: isa.X1, Imm: 0, Imm2: 2},        // movz #0 shifted
+		{Op: isa.AND, Rd: isa.X1, Rn: isa.XZR, Rm: isa.X2}, // and with xzr
+		{Op: isa.AND, Rd: isa.X1, Rn: isa.X2, Rm: isa.XZR},
+	}
+	for _, in := range cases {
+		if d := decide(t, e, in, physW, physW); d.Kind != KindZero || d.Origin != OriginZeroOne {
+			t.Errorf("%s: %v/%v, want zero-idiom", in.String(), d.Kind, d.Origin)
+		}
+	}
+	one := isa.Inst{Op: isa.MOVZ, Rd: isa.X1, Imm: 1}
+	if d := decide(t, e, one, physW, physW); d.Kind != KindOne {
+		t.Errorf("movz #1: %v, want one-idiom", d.Kind)
+	}
+	// movz #1 with a shift is NOT a one idiom.
+	shifted := isa.Inst{Op: isa.MOVZ, Rd: isa.X1, Imm: 1, Imm2: 1}
+	if d := decide(t, e, shifted, physW, physW); d.Kind == KindOne {
+		t.Error("movz #1 lsl 16 must not be a one idiom")
+	}
+}
+
+func TestStaticMoveIdioms(t *testing.T) {
+	e := eng(false, false)
+	for _, op := range []isa.Op{isa.ADD, isa.ORR, isa.EOR} {
+		in := isa.Inst{Op: op, Rd: isa.X1, Rn: isa.XZR, Rm: isa.X2}
+		d := decide(t, e, in, Operand{Name: HardZero, Known: true}, physW)
+		if d.Kind != KindMove || d.Origin != OriginMove || d.MoveOp.Name != physW.Name {
+			t.Errorf("%v with xzr src0: %v", op, d.Kind)
+		}
+		in2 := isa.Inst{Op: op, Rd: isa.X1, Rn: isa.X2, Rm: isa.XZR}
+		d2 := decide(t, e, in2, physW, Operand{Name: HardZero, Known: true})
+		if d2.Kind != KindMove {
+			t.Errorf("%v with xzr src1: %v", op, d2.Kind)
+		}
+	}
+	// SUB with xzr is not a listed move idiom.
+	in := isa.Inst{Op: isa.SUB, Rd: isa.X1, Rn: isa.X2, Rm: isa.XZR}
+	if d := decide(t, e, in, physW, Operand{Name: HardZero, Known: true}); d.Origin == OriginMove {
+		t.Error("sub is not a baseline move idiom")
+	}
+}
+
+func TestMoveWidthRule(t *testing.T) {
+	e := eng(false, false)
+	// 32-bit move of a 64-bit-defined source: blocked (§5).
+	in := isa.Inst{Op: isa.ORR, Rd: isa.X1, Rn: isa.XZR, Rm: isa.X2, W: true}
+	d, blocked := e.Decide(&in, Operand{Name: HardZero, Known: true}, physW, 0, false, false)
+	if d.Kind != KindNone || !blocked {
+		t.Errorf("wide source into w-dest must be blocked: %v blocked=%v", d.Kind, blocked)
+	}
+	// Same with a 32-bit-defined source: allowed.
+	d2, _ := e.Decide(&in, Operand{Name: HardZero, Known: true}, physN, 0, false, false)
+	if d2.Kind != KindMove {
+		t.Errorf("narrow source into w-dest must move-eliminate: %v", d2.Kind)
+	}
+	// A known non-negative small value: allowed even though "wide" (§6.2).
+	d3, _ := e.Decide(&in, Operand{Name: HardZero, Known: true}, known(200), 0, false, false)
+	if d3.Kind != KindMove {
+		t.Errorf("known small value into w-dest must move-eliminate: %v", d3.Kind)
+	}
+	// A known negative value sign-extends: blocked.
+	d4, blocked4 := e.Decide(&in, Operand{Name: HardZero, Known: true}, known(-5), 0, false, false)
+	if d4.Kind == KindMove || !blocked4 {
+		t.Error("negative inlined value into w-dest must be blocked")
+	}
+}
+
+func TestNineBitIdiom(t *testing.T) {
+	e := eng(false, true)
+	in := isa.Inst{Op: isa.MOVZ, Rd: isa.X1, Imm: 42}
+	d := decide(t, e, in, physW, physW)
+	if d.Kind != KindValue || d.Origin != OriginNineBit || d.Value != 42 {
+		t.Errorf("movz #42: %v %v %d", d.Kind, d.Origin, d.Value)
+	}
+	// movn #4 → -5.
+	n := isa.Inst{Op: isa.MOVN, Rd: isa.X1, Imm: 4}
+	dn := decide(t, e, n, physW, physW)
+	if dn.Kind != KindValue || dn.Value != -5 {
+		t.Errorf("movn #4: %v %d", dn.Kind, dn.Value)
+	}
+	// Too wide for inlining.
+	wide := isa.Inst{Op: isa.MOVZ, Rd: isa.X1, Imm: 300}
+	if d := decide(t, e, wide, physW, physW); d.Kind != KindNone {
+		t.Errorf("movz #300 must not inline: %v", d.Kind)
+	}
+	// Without inline hardware (MVP), no 9-bit elimination.
+	e2 := eng(false, false)
+	e2.NineBit = true
+	if d := decide(t, e2, in, physW, physW); d.Kind != KindNone {
+		t.Error("9-bit idiom requires inline register names")
+	}
+}
+
+func TestSpSRSpeculativeFlag(t *testing.T) {
+	e := eng(true, true)
+	in := isa.Inst{Op: isa.ADD, Rd: isa.X1, Rn: isa.X2, Rm: isa.X3}
+	// Non-speculative knowledge → non-speculative reduction.
+	d := decide(t, e, in, physW, known(0))
+	if d.Kind != KindMove || d.Spec {
+		t.Errorf("architecturally-known zero: %v spec=%v", d.Kind, d.Spec)
+	}
+	// Speculative knowledge taints the reduction.
+	d2 := decide(t, e, in, physW, spec(0))
+	if d2.Kind != KindMove || !d2.Spec {
+		t.Errorf("predicted zero: %v spec=%v", d2.Kind, d2.Spec)
+	}
+}
+
+func TestSpSRRequiresEnable(t *testing.T) {
+	e := eng(false, true)
+	in := isa.Inst{Op: isa.ADD, Rd: isa.X1, Rn: isa.X2, Rm: isa.X3}
+	if d := decide(t, e, in, physW, spec(0)); d.Kind != KindNone {
+		t.Error("Table 1 reductions must be gated by the SpSR knob")
+	}
+}
+
+func TestSpSRAndsFlags(t *testing.T) {
+	e := eng(true, true)
+	in := isa.Inst{Op: isa.ANDS, Rd: isa.X1, Rn: isa.X2, Rm: isa.X3}
+	d := decide(t, e, in, spec(0), physW)
+	if d.Kind != KindZero || !d.SetsNZCV || d.NZCV != isa.ZeroResultFlags() {
+		t.Errorf("ands with zero src: %v nzcv=%v", d.Kind, d.NZCV)
+	}
+	// ands 1,1 → result 1, all flags clear.
+	d2 := decide(t, e, in, spec(1), spec(1))
+	if d2.Kind != KindOne || !d2.SetsNZCV || d2.NZCV != 0 {
+		t.Errorf("ands 1&1: %v nzcv=%v", d2.Kind, d2.NZCV)
+	}
+}
+
+func TestSpSRSubsComputesFlags(t *testing.T) {
+	e := eng(true, true)
+	cmp := isa.Inst{Op: isa.SUBS, Rd: isa.XZR, Rn: isa.X2, Rm: isa.X3}
+	// 0 - 1 = -1: N set, C clear.
+	d := decide(t, e, cmp, spec(0), spec(1))
+	if d.Kind != KindNop || !d.NZCV.N() || d.NZCV.C() || d.NZCV.Z() {
+		t.Errorf("subs 0,1: %v nzcv=%v", d.Kind, d.NZCV)
+	}
+	// 1 - 1 = 0: Z and C set.
+	d2 := decide(t, e, cmp, spec(1), spec(1))
+	if d2.Kind != KindNop || !d2.NZCV.Z() || !d2.NZCV.C() {
+		t.Errorf("subs 1,1: %v nzcv=%v", d2.Kind, d2.NZCV)
+	}
+	// With a real destination and an unrepresentable result (MVP mode:
+	// no inline), 0-1=-1 cannot be eliminated.
+	e2 := eng(true, false)
+	sub := isa.Inst{Op: isa.SUBS, Rd: isa.X1, Rn: isa.X2, Rm: isa.X3}
+	if d := decide(t, e2, sub, spec(0), spec(1)); d.Kind != KindNone {
+		t.Errorf("subs with -1 result under MVP: %v, want none", d.Kind)
+	}
+	// Under TVP inlining, -1 is representable.
+	if d := decide(t, e, sub, spec(0), spec(1)); d.Kind != KindValue || d.Value != -1 {
+		t.Errorf("subs with -1 result under TVP: %v %d", d.Kind, d.Value)
+	}
+}
+
+func TestSpSRBranches(t *testing.T) {
+	e := eng(true, true)
+	cbz := isa.Inst{Op: isa.CBZ, Rn: isa.X2}
+	if d := decide(t, e, cbz, spec(0), physW); d.Kind != KindBranch || !d.Taken {
+		t.Errorf("cbz of predicted 0: %v taken=%v", d.Kind, d.Taken)
+	}
+	if d := decide(t, e, cbz, spec(1), physW); d.Kind != KindBranch || d.Taken {
+		t.Errorf("cbz of predicted 1: %v taken=%v", d.Kind, d.Taken)
+	}
+	cbnz := isa.Inst{Op: isa.CBNZ, Rn: isa.X2}
+	if d := decide(t, e, cbnz, spec(1), physW); d.Kind != KindBranch || !d.Taken {
+		t.Error("cbnz of predicted 1 must resolve taken")
+	}
+	tbnz := isa.Inst{Op: isa.TBNZ, Rn: isa.X2, Imm: 0}
+	if d := decide(t, e, tbnz, spec(1), physW); d.Kind != KindBranch || !d.Taken {
+		t.Error("tbnz bit0 of predicted 1 must resolve taken")
+	}
+	// b.cond with unknown NZCV does not resolve.
+	bc := isa.Inst{Op: isa.BCOND, Cond: isa.EQ}
+	if d, _ := e.Decide(&bc, physW, physW, 0, false, false); d.Kind != KindNone {
+		t.Error("b.cond must not resolve without frontend NZCV")
+	}
+	// With known NZCV it does.
+	if d, _ := e.Decide(&bc, physW, physW, isa.FlagZ, true, true); d.Kind != KindBranch || !d.Taken {
+		t.Error("b.eq with Z=1 must resolve taken")
+	}
+}
+
+func TestSpSRCondSelects(t *testing.T) {
+	e := eng(true, true)
+	csel := isa.Inst{Op: isa.CSEL, Rd: isa.X1, Rn: isa.X2, Rm: isa.X3, Cond: isa.EQ}
+	d, _ := e.Decide(&csel, physW, physN, isa.FlagZ, false, true)
+	if d.Kind != KindMove || d.MoveOp.Name != physW.Name {
+		t.Errorf("csel eq with Z=1: %v src=%v", d.Kind, d.MoveOp.Name)
+	}
+	// csinc with cond false and known Rm: value Rm+1.
+	csinc := isa.Inst{Op: isa.CSINC, Rd: isa.X1, Rn: isa.X2, Rm: isa.XZR, Cond: isa.NE}
+	d2, _ := e.Decide(&csinc, physW, Operand{Name: HardZero, Known: true}, isa.FlagZ, false, true)
+	if d2.Kind != KindOne {
+		t.Errorf("cset-like csinc with Z=1: %v", d2.Kind)
+	}
+	// csneg cond false with known Rm=1 → -1 (TVP value).
+	csneg := isa.Inst{Op: isa.CSNEG, Rd: isa.X1, Rn: isa.X2, Rm: isa.X3, Cond: isa.NE}
+	d3, _ := e.Decide(&csneg, physW, known(1), isa.FlagZ, false, true)
+	if d3.Kind != KindValue || d3.Value != -1 {
+		t.Errorf("csneg false-arm: %v %d", d3.Kind, d3.Value)
+	}
+}
+
+func TestSpSRShiftAndBitOps(t *testing.T) {
+	e := eng(true, true)
+	for _, op := range []isa.Op{isa.LSL, isa.LSR, isa.ASR} {
+		in := isa.Inst{Op: op, Rd: isa.X1, Rn: isa.X2, Rm: isa.X3}
+		if d := decide(t, e, in, spec(0), physW); d.Kind != KindZero {
+			t.Errorf("%v of zero: %v", op, d.Kind)
+		}
+		if d := decide(t, e, in, physW, spec(0)); d.Kind != KindMove {
+			t.Errorf("%v by zero: %v", op, d.Kind)
+		}
+	}
+	ubfm := isa.Inst{Op: isa.UBFM, Rd: isa.X1, Rn: isa.X2, Imm: 3, Imm2: 9}
+	if d := decide(t, e, ubfm, spec(0), physW); d.Kind != KindZero {
+		t.Error("ubfm of zero must be zero-idiom")
+	}
+	rbit := isa.Inst{Op: isa.RBIT, Rd: isa.X1, Rn: isa.X2}
+	if d := decide(t, e, rbit, spec(0), physW); d.Kind != KindZero {
+		t.Error("rbit of zero must be zero-idiom")
+	}
+	bic := isa.Inst{Op: isa.BIC, Rd: isa.X1, Rn: isa.X2, Rm: isa.X3}
+	if d := decide(t, e, bic, physW, spec(0)); d.Kind != KindMove {
+		t.Error("bic with zero mask must be move-idiom")
+	}
+}
+
+func TestPriorityStaticBeforeSpSR(t *testing.T) {
+	// eor x, y, y is both a static zero idiom and (with known operands) a
+	// potential SpSR case; the baseline static idiom must win so Fig. 4
+	// attribution is stable.
+	e := eng(true, true)
+	in := isa.Inst{Op: isa.EOR, Rd: isa.X1, Rn: isa.X2, Rm: isa.X2}
+	if d := decide(t, e, in, spec(0), spec(0)); d.Origin != OriginZeroOne {
+		t.Errorf("static idiom must take priority: %v", d.Origin)
+	}
+}

@@ -1,0 +1,85 @@
+// Package rename implements the register renaming machinery at the heart
+// of the paper's contribution: a speculative RAT and committed RAT (CRAT)
+// with reference-counted physical register reclamation, hardwired 0x0/0x1
+// physical registers (MVP, §3.1 — and the baseline's zero/one-idiom
+// elimination, which modern cores already implement), physical register
+// name inlining of 9-bit signed values (TVP, §3.2, after Lipasti et al.'s
+// register inlining), move elimination with the paper's 64→32-bit width
+// restriction (§5), 9-bit signed integer idiom elimination (§3.2.2), and
+// the Speculative Strength Reduction decision engine implementing every
+// idiom of Table 1 (§4), including frontend NZCV tracking for flag-reading
+// consumers.
+package rename
+
+import "fmt"
+
+// Name is a widened physical register name (§3.2.1). Plain physical
+// registers use values [0, nPhys). Bit 9 (ValueBit) marks an inlined
+// value: the low 9 bits are a signed constant and no physical register
+// backs the name. Physical names 0 and 1 are hardwired to 0x0 and 0x1
+// ("PRN 0 is 0x0, PRN 1 is 0x1", §6.1 footnote); they are excluded from
+// the free list in every configuration, since the baseline's zero/one
+// idiom elimination depends on them.
+type Name uint16
+
+// Reserved names.
+const (
+	// HardZero is the hardwired physical register that always reads 0x0.
+	HardZero Name = 0
+	// HardOne is the hardwired physical register that always reads 0x1.
+	HardOne Name = 1
+	// ValueBit marks a 9-bit-signed inlined value name (TVP/GVP only).
+	ValueBit Name = 1 << 9
+	// Invalid is the canonical "no name" sentinel.
+	Invalid Name = 0xffff
+)
+
+// ValueName returns the inlined name encoding v, which must be in
+// [-256, 255].
+func ValueName(v int64) Name {
+	if v < -256 || v > 255 {
+		panic(fmt.Sprintf("rename: value %d not inlinable", v))
+	}
+	return Name(uint16(v)&0x1ff) | ValueBit
+}
+
+// IsValue reports whether the name is an inlined value.
+func (n Name) IsValue() bool { return n != Invalid && n&ValueBit != 0 }
+
+// IsPhys reports whether the name is a real physical register (including
+// the hardwired ones).
+func (n Name) IsPhys() bool { return n != Invalid && n&ValueBit == 0 }
+
+// IsHardwired reports whether the name is one of the hardwired 0/1
+// registers.
+func (n Name) IsHardwired() bool { return n == HardZero || n == HardOne }
+
+// Value returns the constant an inlined or hardwired name carries. It
+// panics for ordinary physical names.
+func (n Name) Value() int64 {
+	switch {
+	case n.IsValue():
+		return int64(int16(n<<7)) >> 7 // sign-extend the low 9 bits
+	case n == HardZero:
+		return 0
+	case n == HardOne:
+		return 1
+	}
+	panic(fmt.Sprintf("rename: Value of non-value name %v", n))
+}
+
+// Known reports whether the name's value is known at rename time: inlined
+// values and hardwired registers.
+func (n Name) Known() bool { return n.IsValue() || n.IsHardwired() }
+
+// String renders the name for diagnostics.
+func (n Name) String() string {
+	switch {
+	case n == Invalid:
+		return "p?"
+	case n.IsValue():
+		return fmt.Sprintf("v(%d)", n.Value())
+	default:
+		return fmt.Sprintf("p%d", uint16(n))
+	}
+}

@@ -1,0 +1,132 @@
+package rename
+
+// Reference-model property test for the renamer: drive random sequences
+// of rename / move-eliminate / value-map / commit / flush events through
+// the Renamer while tracking, independently, the set of physical
+// registers that must be live. After every flush the free-list count must
+// equal total − hardwired − live, and no live register may ever be handed
+// out by AllocInt.
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/xrand"
+)
+
+// event mirrors a ROB entry for the reference model.
+type refDef struct {
+	arch isa.Reg
+	name Name
+}
+
+func TestRenamerRandomizedInvariants(t *testing.T) {
+	const nPhys = 72
+	r := NewRenamer(nPhys, 48)
+	rng := xrand.New(0xfeed)
+
+	var inflight []refDef // renamed, not yet committed (program order)
+
+	// liveRefs recomputes the reference count of every physical register
+	// from committed + in-flight state.
+	committed := map[isa.Reg]Name{}
+	for a := isa.Reg(0); a < 31; a++ {
+		committed[a] = Name(2 + a)
+	}
+	refCount := func() map[Name]int {
+		rc := map[Name]int{}
+		for _, n := range committed {
+			if n.IsPhys() && !n.IsHardwired() {
+				rc[n]++
+			}
+		}
+		for _, d := range inflight {
+			if d.name.IsPhys() && !d.name.IsHardwired() {
+				rc[d.name]++
+			}
+		}
+		return rc
+	}
+
+	checkFree := func(step int) {
+		t.Helper()
+		live := len(refCount())
+		wantFree := nPhys - 2 - live
+		if got := r.FreeInt(); got != wantFree {
+			t.Fatalf("step %d: free = %d, reference = %d (live %d)", step, got, wantFree, live)
+		}
+	}
+
+	for step := 0; step < 20000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4 && r.FreeInt() > 0: // fresh def
+			arch := isa.Reg(rng.Intn(31))
+			n := r.AllocInt()
+			r.DefInt(arch, n, true, false)
+			inflight = append(inflight, refDef{arch, n})
+
+		case op < 6: // move elimination: share a random live mapping
+			src := isa.Reg(rng.Intn(31))
+			arch := isa.Reg(rng.Intn(31))
+			o := r.SrcInt(src)
+			r.DefIntShared(arch, o.Name, o.Wide, false)
+			inflight = append(inflight, refDef{arch, o.Name})
+
+		case op < 7: // value-name def (VP / idiom elimination)
+			arch := isa.Reg(rng.Intn(31))
+			v := int64(rng.Intn(512)) - 256
+			r.DefIntShared(arch, ValueName(v), false, true)
+			inflight = append(inflight, refDef{arch, ValueName(v)})
+
+		case op < 9 && len(inflight) > 0: // commit the oldest def
+			d := inflight[0]
+			inflight = inflight[1:]
+			r.CommitDefInt(d.arch, d.name, true, false)
+			committed[d.arch] = d.name
+
+		default: // flush a random suffix of the in-flight defs
+			if len(inflight) == 0 {
+				continue
+			}
+			cut := rng.Intn(len(inflight))
+			for i := len(inflight) - 1; i >= cut; i-- {
+				r.Release(inflight[i].name)
+			}
+			inflight = inflight[:cut]
+			r.RestoreFromCRAT()
+			for _, d := range inflight {
+				r.ReplayDefInt(d.arch, d.name, true, false)
+			}
+			checkFree(step)
+		}
+	}
+	// Drain: commit everything and verify the final balance.
+	for _, d := range inflight {
+		r.CommitDefInt(d.arch, d.name, true, false)
+		committed[d.arch] = d.name
+	}
+	inflight = nil
+	checkFree(-1)
+
+	// RAT must agree with the committed reference after a final flush.
+	r.RestoreFromCRAT()
+	for a := isa.Reg(0); a < 31; a++ {
+		if got := r.SrcInt(a).Name; got != committed[a] {
+			t.Fatalf("final RAT[%v] = %v, reference %v", a, got, committed[a])
+		}
+	}
+}
+
+func TestRenamerExhaustionIsClean(t *testing.T) {
+	r := NewRenamer(40, 40)
+	n := r.FreeInt()
+	for i := 0; i < n; i++ {
+		r.AllocInt()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("allocating from an empty free list must panic (callers check FreeInt)")
+		}
+	}()
+	r.AllocInt()
+}

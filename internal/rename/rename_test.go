@@ -1,0 +1,208 @@
+package rename
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func TestValueNameRoundTrip(t *testing.T) {
+	f := func(raw int16) bool {
+		v := int64(raw)
+		if v < -256 || v > 255 {
+			v = v % 257
+		}
+		n := ValueName(v)
+		return n.IsValue() && !n.IsPhys() && n.Value() == v && n.Known()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueNameBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ValueName(256) must panic")
+		}
+	}()
+	ValueName(256)
+}
+
+func TestHardwiredNames(t *testing.T) {
+	if !HardZero.IsHardwired() || !HardOne.IsHardwired() {
+		t.Fatal("hardwired flags")
+	}
+	if HardZero.Value() != 0 || HardOne.Value() != 1 {
+		t.Fatal("hardwired values")
+	}
+	if !HardZero.IsPhys() || HardZero.IsValue() {
+		t.Fatal("hardwired names are physical registers")
+	}
+	if Name(5).Known() {
+		t.Fatal("ordinary physical names have unknown values")
+	}
+}
+
+func TestInitialState(t *testing.T) {
+	r := NewRenamer(64, 48)
+	// X0..X30 map to fresh registers; XZR reads as known zero.
+	op := r.SrcInt(isa.XZR)
+	if !op.Known || op.Value != 0 {
+		t.Error("XZR must read as known zero")
+	}
+	if op := r.SrcInt(isa.X5); op.Known {
+		t.Error("fresh architectural registers hold unknown values")
+	}
+	// 64 total - 2 hardwired - 31 arch = 31 free.
+	if got := r.FreeInt(); got != 64-2-31 {
+		t.Errorf("free integer registers = %d", got)
+	}
+	if got := r.FreeFP(); got != 48-32 {
+		t.Errorf("free FP registers = %d", got)
+	}
+}
+
+func TestAllocReleaseBalance(t *testing.T) {
+	r := NewRenamer(64, 48)
+	free0 := r.FreeInt()
+	var names []Name
+	for i := 0; i < free0; i++ {
+		names = append(names, r.AllocInt())
+	}
+	if r.FreeInt() != 0 {
+		t.Fatal("free list should be empty")
+	}
+	for _, n := range names {
+		r.Release(n)
+	}
+	if r.FreeInt() != free0 {
+		t.Errorf("free count after release = %d, want %d", r.FreeInt(), free0)
+	}
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	r := NewRenamer(64, 48)
+	n := r.AllocInt()
+	r.Release(n)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release must panic")
+		}
+	}()
+	r.Release(n)
+}
+
+func TestMoveEliminationRefCounting(t *testing.T) {
+	r := NewRenamer(64, 48)
+	free0 := r.FreeInt()
+
+	// def x1 ← fresh p
+	p := r.AllocInt()
+	r.DefInt(isa.X1, p, true, false)
+	// move-eliminate x2 ← x1: shares p.
+	src := r.SrcInt(isa.X1)
+	r.DefIntShared(isa.X2, src.Name, true, false)
+
+	// Commit both; the old CRAT mappings of x1/x2 are released.
+	r.CommitDefInt(isa.X1, p, true, false)
+	r.CommitDefInt(isa.X2, p, true, false)
+	if r.FreeInt() != free0-1+2 {
+		t.Errorf("free = %d, want %d (two old regs freed, one allocated)", r.FreeInt(), free0+1)
+	}
+
+	// Overwrite x1: p still referenced by x2's CRAT entry → not freed.
+	q := r.AllocInt()
+	r.DefInt(isa.X1, q, true, false)
+	r.CommitDefInt(isa.X1, q, true, false)
+	freeAfterX1 := r.FreeInt()
+
+	// Overwrite x2: now p is dead → freed.
+	s := r.AllocInt()
+	r.DefInt(isa.X2, s, true, false)
+	r.CommitDefInt(isa.X2, s, true, false)
+	if r.FreeInt() != freeAfterX1-1+1 {
+		t.Errorf("shared register not freed exactly when last reference died")
+	}
+}
+
+func TestValueNameMappingNeverFreed(t *testing.T) {
+	r := NewRenamer(64, 48)
+	free0 := r.FreeInt()
+	// Value-predicted def: x3 ← v(42); commits; overwritten later.
+	r.DefIntShared(isa.X3, ValueName(42), false, true)
+	r.CommitDefInt(isa.X3, ValueName(42), false, true)
+	// The old x3 mapping was a real register: freed. Free list +1.
+	if r.FreeInt() != free0+1 {
+		t.Errorf("free = %d, want %d", r.FreeInt(), free0+1)
+	}
+	p := r.AllocInt()
+	r.DefInt(isa.X3, p, true, false)
+	r.CommitDefInt(isa.X3, p, true, false)
+	// Overwritten CRAT entry was a value name — "not put on the Free
+	// List" (§3.2.1): free count unchanged by its release.
+	if r.FreeInt() != free0 {
+		t.Errorf("value-name release must be a no-op, free = %d want %d", r.FreeInt(), free0)
+	}
+}
+
+func TestFlushRecovery(t *testing.T) {
+	r := NewRenamer(64, 48)
+	// Committed state: x1 → p.
+	p := r.AllocInt()
+	r.DefInt(isa.X1, p, true, false)
+	r.CommitDefInt(isa.X1, p, true, false)
+
+	// Speculative defs: x1 → q (survives), x2 → v(7) (squashed).
+	q := r.AllocInt()
+	r.DefInt(isa.X1, q, true, false)
+	r.DefIntShared(isa.X2, ValueName(7), false, true)
+
+	// Squash x2's def, restore, replay x1's surviving def.
+	r.Release(ValueName(7)) // no-op by design
+	r.RestoreFromCRAT()
+	r.ReplayDefInt(isa.X1, q, true, false)
+
+	if got := r.SrcInt(isa.X1); got.Name != q {
+		t.Errorf("x1 = %v after recovery, want %v", got.Name, q)
+	}
+	if got := r.SrcInt(isa.X2); got.Name.IsValue() {
+		t.Error("x2 should have reverted to its committed mapping")
+	}
+}
+
+func TestNZCVTracking(t *testing.T) {
+	r := NewRenamer(64, 48)
+	if _, _, known := r.NZCV(); known {
+		t.Fatal("fresh NZCV must be unknown")
+	}
+	r.SetNZCV(isa.FlagZ, true)
+	f, spec, known := r.NZCV()
+	if !known || !spec || f != isa.FlagZ {
+		t.Fatal("SetNZCV not visible")
+	}
+	r.InvalidateNZCV()
+	if _, _, known := r.NZCV(); known {
+		t.Fatal("InvalidateNZCV did not clear")
+	}
+	r.SetNZCV(isa.FlagN, false)
+	r.RestoreFromCRAT()
+	if _, _, known := r.NZCV(); known {
+		t.Fatal("flush recovery must invalidate the frontend NZCV")
+	}
+}
+
+func TestWideTracking(t *testing.T) {
+	r := NewRenamer(64, 48)
+	p := r.AllocInt()
+	r.DefInt(isa.X4, p, false, false) // 32-bit def
+	if op := r.SrcInt(isa.X4); op.Wide {
+		t.Error("32-bit def must not be wide")
+	}
+	q := r.AllocInt()
+	r.DefInt(isa.X4, q, true, false)
+	if op := r.SrcInt(isa.X4); !op.Wide {
+		t.Error("64-bit def must be wide")
+	}
+}

@@ -1,0 +1,280 @@
+package rename
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Operand is a renamed source operand: its name plus whatever the renamer
+// knows about its value at rename time.
+type Operand struct {
+	// Name is the physical name the operand maps to (possibly a value
+	// name or a hardwired register).
+	Name Name
+	// Known reports whether the value is known at rename (inlined,
+	// hardwired, or the architectural zero register).
+	Known bool
+	// Value is the known 64-bit register content (valid when Known).
+	Value int64
+	// Wide reports whether the producing definition was 64-bit. For
+	// known values the flag is informational; the value itself governs.
+	Wide bool
+	// Spec reports whether the knowledge is speculative, i.e. derives
+	// (possibly through a chain of reductions) from a value prediction.
+	// Reductions consuming speculative operands are SpSR; reductions
+	// consuming only architectural knowledge are dynamic strength
+	// reduction.
+	Spec bool
+}
+
+type mapping struct {
+	name Name
+	wide bool
+	spec bool
+}
+
+// Renamer is the integer+FP renaming state: speculative RAT, committed
+// CRAT, free lists, reference counts for move elimination, and the
+// frontend NZCV register used by SpSR.
+type Renamer struct {
+	rat  [isa.NumRegs]mapping
+	crat [isa.NumRegs]mapping
+
+	fpRAT  [32]Name
+	fpCRAT [32]Name
+
+	freeInt []Name
+	freeFP  []Name
+	rc      []int32 // reference counts, indexed by physical name
+	fpRC    []int32
+
+	nPhysInt, nPhysFP int
+
+	// Frontend NZCV tracking (§4.2): valid between an SpSR'd flag writer
+	// and the next renamed non-reduced flag writer.
+	nzcvKnown bool
+	nzcvSpec  bool
+	nzcv      isa.Flags
+}
+
+// NewRenamer builds a renamer with the given physical register file
+// sizes. Architectural integer registers X0..X30 start mapped to physical
+// registers 2..32 (0 and 1 being hardwired); XZR maps to HardZero. FP
+// registers map to FP physical 0..31.
+func NewRenamer(nPhysInt, nPhysFP int) *Renamer {
+	r := &Renamer{
+		nPhysInt: nPhysInt,
+		nPhysFP:  nPhysFP,
+		rc:       make([]int32, nPhysInt),
+		fpRC:     make([]int32, nPhysFP),
+	}
+	// Hardwired registers are permanently live.
+	r.rc[HardZero] = 1
+	r.rc[HardOne] = 1
+	next := Name(2)
+	for a := 0; a < isa.NumRegs-1; a++ {
+		r.rat[a] = mapping{name: next, wide: true}
+		r.crat[a] = r.rat[a]
+		r.rc[next] = 1
+		next++
+	}
+	r.rat[isa.XZR] = mapping{name: HardZero, wide: true}
+	r.crat[isa.XZR] = r.rat[isa.XZR]
+	for p := int(next); p < nPhysInt; p++ {
+		r.freeInt = append(r.freeInt, Name(p))
+	}
+	for a := 0; a < 32; a++ {
+		r.fpRAT[a] = Name(a)
+		r.fpCRAT[a] = Name(a)
+		r.fpRC[a] = 1
+	}
+	for p := 32; p < nPhysFP; p++ {
+		r.freeFP = append(r.freeFP, Name(p))
+	}
+	return r
+}
+
+// FreeInt returns the number of free integer physical registers.
+func (r *Renamer) FreeInt() int { return len(r.freeInt) }
+
+// FreeFP returns the number of free FP physical registers.
+func (r *Renamer) FreeFP() int { return len(r.freeFP) }
+
+// SrcInt renames an integer source operand.
+func (r *Renamer) SrcInt(reg isa.Reg) Operand {
+	if reg == isa.XZR {
+		return Operand{Name: HardZero, Known: true, Value: 0, Wide: true}
+	}
+	m := r.rat[reg]
+	op := Operand{Name: m.name, Wide: m.wide, Spec: m.spec}
+	if m.name.Known() {
+		op.Known = true
+		op.Value = m.name.Value()
+	}
+	return op
+}
+
+// SrcFP renames an FP source operand.
+func (r *Renamer) SrcFP(reg isa.Reg) Name { return r.fpRAT[reg&31] }
+
+// AllocInt pops a free integer physical register (reference count 1).
+// Callers must check FreeInt first; it panics when empty.
+func (r *Renamer) AllocInt() Name {
+	if len(r.freeInt) == 0 {
+		panic("rename: integer free list empty")
+	}
+	n := r.freeInt[len(r.freeInt)-1]
+	r.freeInt = r.freeInt[:len(r.freeInt)-1]
+	if r.rc[n] != 0 {
+		panic(fmt.Sprintf("rename: allocating live register %v (rc=%d)", n, r.rc[n]))
+	}
+	r.rc[n] = 1
+	return n
+}
+
+// AllocFP pops a free FP physical register.
+func (r *Renamer) AllocFP() Name {
+	if len(r.freeFP) == 0 {
+		panic("rename: FP free list empty")
+	}
+	n := r.freeFP[len(r.freeFP)-1]
+	r.freeFP = r.freeFP[:len(r.freeFP)-1]
+	if r.fpRC[n] != 0 {
+		panic(fmt.Sprintf("rename: allocating live FP register %v", n))
+	}
+	r.fpRC[n] = 1
+	return n
+}
+
+// DefInt installs a new speculative mapping for an integer architectural
+// destination. For a freshly allocated name the reference count is
+// already 1; for a shared mapping (move elimination, hardwired or value
+// names) use DefIntShared instead. Defining XZR is a no-op.
+func (r *Renamer) DefInt(arch isa.Reg, n Name, wide, spec bool) {
+	if arch == isa.XZR {
+		return
+	}
+	r.rat[arch] = mapping{name: n, wide: wide, spec: spec}
+}
+
+// DefIntShared installs a mapping that shares an existing name (move
+// elimination maps the destination onto the source's physical register;
+// idiom elimination maps onto a hardwired or value name). Physical names
+// gain a reference.
+func (r *Renamer) DefIntShared(arch isa.Reg, n Name, wide, spec bool) {
+	if arch == isa.XZR {
+		return
+	}
+	if n.IsPhys() && !n.IsHardwired() {
+		r.rc[n]++
+	}
+	r.rat[arch] = mapping{name: n, wide: wide, spec: spec}
+}
+
+// DefFP installs a new FP mapping.
+func (r *Renamer) DefFP(arch isa.Reg, n Name) { r.fpRAT[arch&31] = n }
+
+// Release drops one reference to an integer physical name, returning it
+// to the free list when dead. Hardwired and value names are no-ops. Every
+// squashed in-flight definition and every committed overwritten CRAT
+// mapping releases exactly once.
+func (r *Renamer) Release(n Name) {
+	if !n.IsPhys() || n.IsHardwired() {
+		return
+	}
+	r.rc[n]--
+	switch {
+	case r.rc[n] == 0:
+		r.freeInt = append(r.freeInt, n)
+	case r.rc[n] < 0:
+		panic(fmt.Sprintf("rename: double release of %v", n))
+	}
+}
+
+// ReleaseFP drops one reference to an FP physical name.
+func (r *Renamer) ReleaseFP(n Name) {
+	if n == Invalid {
+		return
+	}
+	r.fpRC[n]--
+	switch {
+	case r.fpRC[n] == 0:
+		r.freeFP = append(r.freeFP, n)
+	case r.fpRC[n] < 0:
+		panic(fmt.Sprintf("rename: double release of FP %v", n))
+	}
+}
+
+// CommitDefInt retires an integer definition: the overwritten committed
+// mapping is released (§3.2.1 register reclamation — a value name in the
+// CRAT is simply not put on the free list, which Release handles) and the
+// CRAT takes the new mapping.
+func (r *Renamer) CommitDefInt(arch isa.Reg, n Name, wide, spec bool) {
+	if arch == isa.XZR {
+		return
+	}
+	r.Release(r.crat[arch].name)
+	r.crat[arch] = mapping{name: n, wide: wide, spec: spec}
+}
+
+// CommitDefFP retires an FP definition.
+func (r *Renamer) CommitDefFP(arch isa.Reg, n Name) {
+	a := arch & 31
+	r.ReleaseFP(r.fpCRAT[a])
+	r.fpCRAT[a] = n
+}
+
+// RestoreFromCRAT copies the committed state into the speculative RAT
+// (the first step of the paper's flush recovery: "copying the CRAT to the
+// RAT and iteratively re-applying mappings from an in-order queue"). The
+// pipeline then replays surviving in-flight definitions with ReplayDef.
+// The frontend NZCV is conservatively invalidated.
+func (r *Renamer) RestoreFromCRAT() {
+	r.rat = r.crat
+	r.fpRAT = r.fpCRAT
+	r.nzcvKnown = false
+}
+
+// ReplayDefInt re-applies a surviving in-flight integer definition during
+// flush recovery (no reference count changes: the in-flight reference is
+// still held by the ROB entry).
+func (r *Renamer) ReplayDefInt(arch isa.Reg, n Name, wide, spec bool) {
+	if arch == isa.XZR {
+		return
+	}
+	r.rat[arch] = mapping{name: n, wide: wide, spec: spec}
+}
+
+// ReplayDefFP re-applies a surviving FP definition during flush recovery.
+func (r *Renamer) ReplayDefFP(arch isa.Reg, n Name) { r.fpRAT[arch&31] = n }
+
+// NZCV returns the frontend condition flags if an SpSR'd flag writer made
+// them known and no later flag writer invalidated them, plus whether that
+// knowledge is speculative.
+func (r *Renamer) NZCV() (f isa.Flags, spec, known bool) {
+	return r.nzcv, r.nzcvSpec, r.nzcvKnown
+}
+
+// SetNZCV records frontend-known condition flags produced by an SpSR'd
+// (or otherwise rename-resolved) flag writer.
+func (r *Renamer) SetNZCV(f isa.Flags, spec bool) {
+	r.nzcv, r.nzcvSpec, r.nzcvKnown = f, spec, true
+}
+
+// InvalidateNZCV forgets the frontend flags; called when a non-reduced
+// flag writer renames (§4.2: "invalidated as soon as the next condition
+// flag writer is renamed").
+func (r *Renamer) InvalidateNZCV() { r.nzcvKnown = false }
+
+// LiveInt returns the number of live (non-free, non-hardwired) integer
+// physical registers; used by invariants tests.
+func (r *Renamer) LiveInt() int {
+	live := 0
+	for p := 2; p < r.nPhysInt; p++ {
+		if r.rc[p] > 0 {
+			live++
+		}
+	}
+	return live
+}

@@ -1,0 +1,252 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/rename"
+	"repro/internal/vp"
+)
+
+// StorageKB returns the value predictor storage footprint for the machine
+// geometry under the given targeting mode (§3.3's 55.2/13.9/7.9 KB).
+func StorageKB(m *config.Machine, mode config.VPMode) float64 {
+	cfg := m.VP
+	cfg.Mode = mode
+	return vp.New(cfg).StorageKB()
+}
+
+// WriteFig1 renders the value-distribution bars.
+func WriteFig1(w io.Writer, vs []ValueCount) {
+	fmt.Fprintln(w, "Fig. 1 — Dynamic value distribution (GPR-writing instructions), suite mean")
+	fmt.Fprintf(w, "%-20s %8s\n", "value", "%dyn")
+	for _, v := range vs {
+		fmt.Fprintf(w, "%#-20x %8.3f\n", v.Value, v.Percent)
+	}
+}
+
+// WriteFig2 renders µops/inst and baseline IPC per workload.
+func WriteFig2(w io.Writer, rows []Fig2Row, meanUops, hmeanIPC float64) {
+	fmt.Fprintln(w, "Fig. 2 — µops per architectural instruction (bars) and baseline IPC (line)")
+	fmt.Fprintf(w, "%-22s %10s %8s\n", "workload", "uops/inst", "IPC")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-22s %10.3f %8.3f\n", r.Workload, r.UopsPerInst, r.IPC)
+	}
+	fmt.Fprintf(w, "%-22s %10.3f %8.3f  (amean / hmean)\n", "mean", meanUops, hmeanIPC)
+}
+
+// WriteFig3 renders the VP speedup figure with coverage/accuracy columns.
+func WriteFig3(w io.Writer, rows []Fig3Row, sum Fig3Summary) {
+	fmt.Fprintln(w, "Fig. 3 — Speedup of MVP/TVP/GVP over baseline (move + 0/1-idiom elimination)")
+	fmt.Fprintf(w, "%-22s %8s | %8s %7s %7s | %8s %7s %7s | %8s %7s %7s\n",
+		"workload", "baseIPC", "MVP%", "cov%", "acc%", "TVP%", "cov%", "acc%", "GVP%", "cov%", "acc%")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-22s %8.3f |", r.Workload, r.BaseIPC)
+		for m := 0; m < 3; m++ {
+			fmt.Fprintf(w, " %+8.2f %7.2f %7.2f |", r.Speedup[m], r.Coverage[m], r.Accuracy[m])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-22s %8s |", "geomean / mean cov", "")
+	for m := 0; m < 3; m++ {
+		fmt.Fprintf(w, " %+8.2f %7.2f %7s |", sum.GeomeanSpeedup[m], sum.MeanCoverage[m], "")
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteTable3 renders the budget sensitivity study.
+func WriteTable3(w io.Writer, rows []Table3Row) {
+	fmt.Fprintln(w, "Table 3 — Geomean speedup vs. predictor storage budget")
+	fmt.Fprintf(w, "%-14s | %10s %8s | %10s %8s | %10s %8s\n",
+		"scale", "MVP KB", "MVP%", "TVP KB", "TVP%", "GVP KB", "GVP%")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s |", r.Label)
+		for m := 0; m < 3; m++ {
+			fmt.Fprintf(w, " %10.1f %+8.2f |", r.StorageKB[m], r.Geomean[m])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteFig4 renders the elimination breakdown.
+func WriteFig4(w io.Writer, title string, rows []Fig4Row, mean Fig4Row) {
+	fmt.Fprintln(w, title)
+	fmt.Fprintf(w, "%-22s %8s %8s %8s %8s %8s %8s\n",
+		"workload", "0-idiom", "1-idiom", "move", "9-bit", "SpSR", "nonME-mv")
+	pr := func(r Fig4Row) {
+		fmt.Fprintf(w, "%-22s %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f\n",
+			r.Workload, r.ZeroIdiom, r.OneIdiom, r.Move, r.NineBit, r.SpSR, r.NonMEMove)
+	}
+	for _, r := range rows {
+		pr(r)
+	}
+	pr(mean)
+}
+
+// WriteFig5 renders the SpSR speedup comparison.
+func WriteFig5(w io.Writer, rows []Fig5Row, geo [4]float64) {
+	fmt.Fprintln(w, "Fig. 5 — Speedup of MVP/TVP with and without SpSR over baseline")
+	fmt.Fprintf(w, "%-22s %9s %12s %9s %12s\n", "workload", "MVP%", "MVP+SpSR%", "TVP%", "TVP+SpSR%")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-22s %+9.2f %+12.2f %+9.2f %+12.2f\n",
+			r.Workload, r.Speedup[0], r.Speedup[1], r.Speedup[2], r.Speedup[3])
+	}
+	fmt.Fprintf(w, "%-22s %+9.2f %+12.2f %+9.2f %+12.2f  (geomean)\n", "geomean", geo[0], geo[1], geo[2], geo[3])
+}
+
+// WriteFig6 renders the activity proxies.
+func WriteFig6(w io.Writer, rows []Fig6Row) {
+	fmt.Fprintln(w, "Fig. 6 — Mean INT PRF and IQ activity normalized to baseline (percent)")
+	fmt.Fprintf(w, "%-16s %12s %13s %10s %10s\n", "config", "INTPRFReads", "INTPRFWrites", "IQAdded", "IQIssued")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %12.2f %13.2f %10.2f %10.2f\n",
+			r.Config, r.IntPRFReads, r.IntPRFWrites, r.IQAdded, r.IQIssued)
+	}
+}
+
+// WriteStorage renders the §3.3 predictor storage model.
+func WriteStorage(w io.Writer, m *config.Machine) {
+	fmt.Fprintln(w, "§3.3 — Value predictor storage (Table 2 VTAGE geometry)")
+	for _, mode := range []config.VPMode{config.GVP, config.TVP, config.MVP} {
+		fmt.Fprintf(w, "  %-8s %6.1f KB (paper: %s)\n", mode, StorageKB(m, mode),
+			map[config.VPMode]string{config.GVP: "55.2 KB", config.TVP: "13.9 KB", config.MVP: "7.9 KB"}[mode])
+	}
+}
+
+// WriteTable2 renders the machine configuration.
+func WriteTable2(w io.Writer, m *config.Machine) {
+	fmt.Fprintln(w, "Table 2 — Simulated machine")
+	fmt.Fprintf(w, "  Fetch     %d-wide, %d-entry FQ, %dc fetch→decode, %dc taken-branch bubble\n",
+		m.FetchWidth, m.FetchQueue, m.FetchToDecode, m.TakenBranchPenalty)
+	fmt.Fprintf(w, "  Decode    %d-wide (+%dc), mistarget redirect %dc\n", m.DecodeWidth, m.DecodeToRename, m.DecodeMistarget)
+	fmt.Fprintf(w, "  Rename    %d-wide (+%dc), ME=%v, 0/1-idiom=%v, 9-bit=%v, SpSR=%v\n",
+		m.RenameWidth, m.RenameToDispatch, m.MoveElim, m.ZeroOneIdiom, m.NineBitIdiom, m.SpSR)
+	fmt.Fprintf(w, "  Window    ROB %d, IQ %d, LQ %d, SQ %d, INT PRF %d, FP PRF %d\n",
+		m.ROBSize, m.IQSize, m.LQSize, m.SQSize, m.IntPRF, m.FPPRF)
+	fmt.Fprintf(w, "  Issue     %d-wide over %d pipes; IntMul %dc, IntDiv %dc (unpiped), FP %d/%d/%dc, FPDiv %dc\n",
+		m.IssueWidth, len(m.FUs), m.IntMulLat, m.IntDivLat, m.FPALULat, m.FPMulLat, m.FPMacLat, m.FPDivLat)
+	fmt.Fprintf(w, "  Branch    TAGE 1+%d tables (hist %d..%d), %d-entry BTB, %d-entry indirect, %d-entry RAS\n",
+		m.BPTables, m.BPMinHist, m.BPMaxHist, m.BTBEntries, m.IndirectEntries, m.RASEntries)
+	fmt.Fprintf(w, "  VP        VTAGE 1+%d tables (hist %d..%d), FPC %d-bit (1/%d), silence %dc, mode %v\n",
+		len(m.VP.TableLog2)-1, m.VP.MinHist, m.VP.MaxHist, m.VP.FPCBits, m.VP.FPCInvProb, m.VP.SilenceCycles, m.VP.Mode)
+	fmt.Fprintf(w, "  Caches    L1I %dKB/%d, L1D %dKB/%d (%dc), L2 %dKB/%d (%dc), L3 %dMB/%d (%dc), DRAM %dc\n",
+		m.L1I.SizeBytes>>10, m.L1I.Assoc, m.L1D.SizeBytes>>10, m.L1D.Assoc, m.L1D.LoadToUse,
+		m.L2.SizeBytes>>10, m.L2.Assoc, m.L2.LoadToUse,
+		m.L3.SizeBytes>>20, m.L3.Assoc, m.L3.LoadToUse, m.MemLat)
+	fmt.Fprintf(w, "  TLBs      L1 %d+%d (0c), L2 %d (%dc), walk %dc\n",
+		m.L1ITLB.Entries, m.L1DTLB.Entries, m.L2TLB.Entries, m.L2TLB.Latency, m.PageWalkLat)
+	fmt.Fprintf(w, "  Prefetch  L1D stride (degree %d) = %v, L2 AMPM = %v\n", m.StrideDegree, m.StridePrefetch, m.AMPMPrefetch)
+	fmt.Fprintf(w, "  MemDep    Store Sets: %d-entry SSIT, %d-entry LFST\n", m.SSITEntries, m.LFSTEntries)
+}
+
+// Table1Case is one demonstrated idiom row of Table 1.
+type Table1Case struct {
+	Instruction string
+	Operand     string
+	Reduction   string
+}
+
+// Table1 exercises the SpSR decision engine on every idiom row of the
+// paper's Table 1 and reports the reduction each produces.
+func Table1() []Table1Case {
+	e := rename.Engine{SpSR: true, Inline: true}
+	known := func(v int64) rename.Operand {
+		return rename.Operand{Name: rename.ValueName(v), Known: true, Value: v, Spec: true}
+	}
+	phys := rename.Operand{Name: 40, Wide: true}
+	type tc struct {
+		name, op string
+		in       isa.Inst
+		srcN     rename.Operand
+		srcM     rename.Operand
+		nzKnown  bool
+		nz       isa.Flags
+	}
+	cases := []tc{
+		{"sub dst, src0, #1", "src0=1", isa.Inst{Op: isa.SUB, Rd: 0, Rn: 1, Imm: 1, UseImm: true}, known(1), phys, false, 0},
+		{"sub dst, src0, src1", "src1=0", isa.Inst{Op: isa.SUB, Rd: 0, Rn: 1, Rm: 2}, phys, known(0), false, 0},
+		{"sub dst, src0, src1", "src0=src1=1", isa.Inst{Op: isa.SUB, Rd: 0, Rn: 1, Rm: 2}, known(1), known(1), false, 0},
+		{"add dst, src0, #1", "src0=0", isa.Inst{Op: isa.ADD, Rd: 0, Rn: 1, Imm: 1, UseImm: true}, known(0), phys, false, 0},
+		{"add dst, src0, src1", "src1=0", isa.Inst{Op: isa.ADD, Rd: 0, Rn: 1, Rm: 2}, phys, known(0), false, 0},
+		{"orr dst, src0, src1", "src0=0", isa.Inst{Op: isa.ORR, Rd: 0, Rn: 1, Rm: 2}, known(0), phys, false, 0},
+		{"eor dst, src0, src1", "src1=0", isa.Inst{Op: isa.EOR, Rd: 0, Rn: 1, Rm: 2}, phys, known(0), false, 0},
+		{"and dst, src0, #1", "src0=0", isa.Inst{Op: isa.AND, Rd: 0, Rn: 1, Imm: 1, UseImm: true}, known(0), phys, false, 0},
+		{"and dst, src0, #1", "src0=1", isa.Inst{Op: isa.AND, Rd: 0, Rn: 1, Imm: 1, UseImm: true}, known(1), phys, false, 0},
+		{"and dst, src0, src1", "src1=0", isa.Inst{Op: isa.AND, Rd: 0, Rn: 1, Rm: 2}, phys, known(0), false, 0},
+		{"lsr dst, src0, #3", "src0=0", isa.Inst{Op: isa.LSR, Rd: 0, Rn: 1, Imm: 3, UseImm: true}, known(0), phys, false, 0},
+		{"lsl dst, src0, src1", "src1=0", isa.Inst{Op: isa.LSL, Rd: 0, Rn: 1, Rm: 2}, phys, known(0), false, 0},
+		{"ubfm dst, src0, #0, #7", "src0=0", isa.Inst{Op: isa.UBFM, Rd: 0, Rn: 1, Imm: 0, Imm2: 7}, known(0), phys, false, 0},
+		{"bic dst, src0, src1", "src0=0", isa.Inst{Op: isa.BIC, Rd: 0, Rn: 1, Rm: 2}, known(0), phys, false, 0},
+		{"bic dst, src0, src1", "src1=0", isa.Inst{Op: isa.BIC, Rd: 0, Rn: 1, Rm: 2}, phys, known(0), false, 0},
+		{"rbit dst, src0", "src0=0", isa.Inst{Op: isa.RBIT, Rd: 0, Rn: 1}, known(0), phys, false, 0},
+		{"ands dst, src0, src1", "src0=0", isa.Inst{Op: isa.ANDS, Rd: 0, Rn: 1, Rm: 2}, known(0), phys, false, 0},
+		{"ands xzr, src0, src1", "src1=0", isa.Inst{Op: isa.ANDS, Rd: isa.XZR, Rn: 1, Rm: 2}, phys, known(0), false, 0},
+		{"subs xzr, src0, src1", "src0=1 src1=1", isa.Inst{Op: isa.SUBS, Rd: isa.XZR, Rn: 1, Rm: 2}, known(1), known(1), false, 0},
+		{"adds dst, src0, #1", "src0=0", isa.Inst{Op: isa.ADDS, Rd: 0, Rn: 1, Imm: 1, UseImm: true}, known(0), phys, false, 0},
+		{"cbz src0", "src0=0", isa.Inst{Op: isa.CBZ, Rn: 1}, known(0), phys, false, 0},
+		{"tbz src0, #0", "src0=0", isa.Inst{Op: isa.TBZ, Rn: 1, Imm: 0}, known(0), phys, false, 0},
+		{"b.eq", "NZCV known (Z=1)", isa.Inst{Op: isa.BCOND, Cond: isa.EQ}, phys, phys, true, isa.FlagZ},
+		{"csel dst, a, b, eq", "NZCV known (Z=1)", isa.Inst{Op: isa.CSEL, Rd: 0, Rn: 1, Rm: 2, Cond: isa.EQ}, phys, phys, true, isa.FlagZ},
+		{"csinc dst, a, b, eq", "NZCV known (Z=1, cond true)", isa.Inst{Op: isa.CSINC, Rd: 0, Rn: 1, Rm: 2, Cond: isa.EQ}, phys, phys, true, isa.FlagZ},
+		{"csinc dst, a, xzr, ne", "NZCV known (Z=1, cond false)", isa.Inst{Op: isa.CSINC, Rd: 0, Rn: 1, Rm: isa.XZR, Cond: isa.NE}, phys, rename.Operand{Name: rename.HardZero, Known: true}, true, isa.FlagZ},
+		{"csneg dst, a, b, eq", "NZCV known (Z=1, cond true)", isa.Inst{Op: isa.CSNEG, Rd: 0, Rn: 1, Rm: 2, Cond: isa.EQ}, phys, phys, true, isa.FlagZ},
+	}
+	out := make([]Table1Case, 0, len(cases))
+	for _, t := range cases {
+		d, _ := e.Decide(&t.in, t.srcN, t.srcM, t.nz, true, t.nzKnown)
+		red := d.Kind.String()
+		if d.SetsNZCV {
+			red += "+NZCV"
+		}
+		if d.Kind == rename.KindBranch {
+			red = "nop (resolved, taken=" + fmt.Sprint(d.Taken) + ")"
+		}
+		out = append(out, Table1Case{Instruction: t.name, Operand: t.op, Reduction: red})
+	}
+	return out
+}
+
+// WriteTable1 renders the SpSR idiom demonstrations.
+func WriteTable1(w io.Writer, cases []Table1Case) {
+	fmt.Fprintln(w, "Table 1 — SpSR idioms as implemented (decision engine output)")
+	fmt.Fprintf(w, "%-28s %-28s %s\n", "instruction", "known operand(s)", "reduction")
+	for _, c := range cases {
+		fmt.Fprintf(w, "%-28s %-28s %s\n", c.Instruction, c.Operand, c.Reduction)
+	}
+}
+
+// WriteSilencing renders the silencing ablation.
+func WriteSilencing(w io.Writer, rows []SilencingRow) {
+	fmt.Fprintln(w, "§3.4.1 — Silencing window ablation (geomean speedups)")
+	fmt.Fprintf(w, "%8s %9s %9s %9s\n", "cycles", "MVP%", "TVP%", "GVP%")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8d %+9.2f %+9.2f %+9.2f\n", r.Cycles, r.Geomean[0], r.Geomean[1], r.Geomean[2])
+	}
+}
+
+// WriteDynamicSilence renders the adaptive-silencing extension study.
+func WriteDynamicSilence(w io.Writer, fixed, dynamic [3]float64) {
+	fmt.Fprintln(w, "§3.4.1 extension — fixed 250-cycle vs. adaptive silencing (geomean speedups)")
+	fmt.Fprintf(w, "%-10s %9s %9s %9s\n", "scheme", "MVP%", "TVP%", "GVP%")
+	fmt.Fprintf(w, "%-10s %+9.2f %+9.2f %+9.2f\n", "fixed", fixed[0], fixed[1], fixed[2])
+	fmt.Fprintf(w, "%-10s %+9.2f %+9.2f %+9.2f\n", "dynamic", dynamic[0], dynamic[1], dynamic[2])
+}
+
+// WriteValidation renders the validation-scheme ablation.
+func WriteValidation(w io.Writer, speedup, prfReads [2]float64) {
+	fmt.Fprintln(w, "§2.2/§3.3 — GVP validation at execute vs. at retire")
+	fmt.Fprintf(w, "%-12s %9s %14s\n", "scheme", "geomean%", "PRF reads %")
+	fmt.Fprintf(w, "%-12s %+9.2f %14.2f\n", "execute", speedup[0], prfReads[0])
+	fmt.Fprintf(w, "%-12s %+9.2f %14.2f\n", "retire", speedup[1], prfReads[1])
+}
+
+// WritePrefetch renders the §6.2 stride-prefetcher interaction study.
+func WritePrefetch(w io.Writer, rows []PrefetchRow) {
+	fmt.Fprintln(w, "§6.2 — TVP+SpSR speedup with and without the L1D stride prefetcher")
+	fmt.Fprintf(w, "%-22s %12s %14s\n", "workload", "with stride%", "without stride%")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-22s %+12.2f %+14.2f\n", r.Workload, r.WithStride, r.WithoutStride)
+	}
+}

@@ -1,0 +1,219 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+)
+
+// tiny restricts experiments to a 3-benchmark sample at short length so
+// the whole report layer is exercised in seconds.
+func tiny() Config {
+	c := Quick()
+	c.Workloads = []string{"600_perlbench_s_1", "623_xalancbmk_s", "654_roms_s"}
+	return c
+}
+
+func TestFig1(t *testing.T) {
+	c := tiny()
+	c.Insts = 30000
+	vs := Fig1(c, 10)
+	if len(vs) == 0 {
+		t.Fatal("no values collected")
+	}
+	if vs[0].Value != 0 {
+		t.Errorf("most frequent value = %#x, Fig. 1 wants 0x0", vs[0].Value)
+	}
+	for i := 1; i < len(vs); i++ {
+		if vs[i].Percent > vs[i-1].Percent {
+			t.Fatal("values not sorted by frequency")
+		}
+	}
+	var buf bytes.Buffer
+	WriteFig1(&buf, vs)
+	if !strings.Contains(buf.String(), "0x0") {
+		t.Error("rendering missing 0x0 row")
+	}
+}
+
+func TestFig2(t *testing.T) {
+	rows, mu, hi := Fig2(tiny())
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if mu < 1 || hi <= 0 {
+		t.Errorf("means implausible: uops %.3f, IPC %.3f", mu, hi)
+	}
+	var buf bytes.Buffer
+	WriteFig2(&buf, rows, mu, hi)
+	if !strings.Contains(buf.String(), "xalancbmk") {
+		t.Error("rendering missing workload")
+	}
+}
+
+func TestFig3(t *testing.T) {
+	rows, sum := Fig3(tiny())
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Ordering invariant on this sample: GVP geomean >= MVP geomean.
+	if sum.GeomeanSpeedup[2] < sum.GeomeanSpeedup[0]-0.5 {
+		t.Errorf("GVP %.2f should dominate MVP %.2f", sum.GeomeanSpeedup[2], sum.GeomeanSpeedup[0])
+	}
+	if sum.MeanCoverage[0] > sum.MeanCoverage[2] {
+		t.Error("MVP coverage cannot exceed GVP coverage")
+	}
+	for _, r := range rows {
+		for m := 0; m < 3; m++ {
+			if r.Accuracy[m] < 99 {
+				t.Errorf("%s accuracy[%d] = %.2f%%; FPC confidence should keep it ≈100%%", r.Workload, m, r.Accuracy[m])
+			}
+		}
+	}
+	var buf bytes.Buffer
+	WriteFig3(&buf, rows, sum)
+	if !strings.Contains(buf.String(), "geomean") {
+		t.Error("rendering missing summary")
+	}
+}
+
+func TestFig4(t *testing.T) {
+	rows, mean := Fig4(tiny(), config.TVP)
+	if len(rows) != 3 {
+		t.Fatal("rows")
+	}
+	if mean.SpSR <= 0 {
+		t.Error("TVP+SpSR must eliminate some instructions")
+	}
+	if mean.Move <= 0 || mean.ZeroIdiom <= 0 {
+		t.Error("baseline DSR categories empty")
+	}
+	// MVP variant has no 9-bit idiom elimination.
+	_, meanMVP := Fig4(tiny(), config.MVP)
+	if meanMVP.NineBit != 0 {
+		t.Errorf("MVP cannot 9-bit-eliminate (got %.3f%%)", meanMVP.NineBit)
+	}
+	var buf bytes.Buffer
+	WriteFig4(&buf, "Fig 4 test", rows, mean)
+	if !strings.Contains(buf.String(), "SpSR") {
+		t.Error("rendering missing SpSR column")
+	}
+}
+
+func TestFig5(t *testing.T) {
+	rows, geo := Fig5(tiny())
+	if len(rows) != 3 {
+		t.Fatal("rows")
+	}
+	// SpSR must not change speedups catastrophically (paper: ±small).
+	for k := 0; k < 4; k++ {
+		if geo[k] < -20 || geo[k] > 80 {
+			t.Errorf("geo[%d] = %.2f implausible", k, geo[k])
+		}
+	}
+	var buf bytes.Buffer
+	WriteFig5(&buf, rows, geo)
+	if !strings.Contains(buf.String(), "SpSR") {
+		t.Error("rendering")
+	}
+}
+
+func TestFig6(t *testing.T) {
+	rows := Fig6(tiny())
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6 configurations", len(rows))
+	}
+	for _, r := range rows {
+		if r.IntPRFReads > 105 {
+			t.Errorf("%s: PRF reads %.1f%% — VP flavors must reduce PRF read traffic", r.Config, r.IntPRFReads)
+		}
+	}
+	// SpSR reduces IQ dispatch relative to its plain-VP sibling.
+	if rows[1].IQAdded >= rows[0].IQAdded {
+		t.Errorf("MVP+SpSR IQAdded %.2f not below MVP %.2f", rows[1].IQAdded, rows[0].IQAdded)
+	}
+	if rows[3].IQAdded >= rows[2].IQAdded {
+		t.Errorf("TVP+SpSR IQAdded %.2f not below TVP %.2f", rows[3].IQAdded, rows[2].IQAdded)
+	}
+	var buf bytes.Buffer
+	WriteFig6(&buf, rows)
+	if !strings.Contains(buf.String(), "INTPRFWrites") {
+		t.Error("rendering")
+	}
+}
+
+func TestTable1AllRowsReduce(t *testing.T) {
+	cases := Table1()
+	if len(cases) < 25 {
+		t.Fatalf("Table 1 demonstrates only %d idioms", len(cases))
+	}
+	for _, c := range cases {
+		if c.Reduction == "none" || c.Reduction == "" {
+			t.Errorf("%s [%s] did not reduce", c.Instruction, c.Operand)
+		}
+	}
+}
+
+func TestStorageModel(t *testing.T) {
+	m := config.Default()
+	for _, tc := range []struct {
+		mode config.VPMode
+		want float64
+	}{
+		{config.GVP, 55.2}, {config.TVP, 13.9}, {config.MVP, 7.9},
+	} {
+		got := StorageKB(m, tc.mode)
+		if got < tc.want-0.2 || got > tc.want+0.2 {
+			t.Errorf("%v storage %.2f KB, want ≈ %.1f", tc.mode, got, tc.want)
+		}
+	}
+}
+
+func TestAblationSilencing(t *testing.T) {
+	c := tiny()
+	c.Workloads = []string{"600_perlbench_s_1"}
+	rows := AblationSilencing(c, []int{15, 250})
+	if len(rows) != 2 {
+		t.Fatal("rows")
+	}
+	var buf bytes.Buffer
+	WriteSilencing(&buf, rows)
+	if !strings.Contains(buf.String(), "250") {
+		t.Error("rendering")
+	}
+}
+
+func TestAblationPrefetch(t *testing.T) {
+	c := tiny()
+	c.Workloads = []string{"654_roms_s"}
+	rows := AblationPrefetch(c)
+	if len(rows) != 1 {
+		t.Fatal("rows")
+	}
+	var buf bytes.Buffer
+	WritePrefetch(&buf, rows)
+	if !strings.Contains(buf.String(), "roms") {
+		t.Error("rendering")
+	}
+}
+
+func TestTable3Smoke(t *testing.T) {
+	c := tiny()
+	c.Workloads = []string{"623_xalancbmk_s"}
+	rows := Table3(c)
+	if len(rows) != 4 {
+		t.Fatal("rows")
+	}
+	for _, r := range rows {
+		if !(r.StorageKB[0] < r.StorageKB[1] && r.StorageKB[1] < r.StorageKB[2]) {
+			t.Errorf("storage ordering wrong at scale %s: %v", r.Label, r.StorageKB)
+		}
+	}
+	var buf bytes.Buffer
+	WriteTable3(&buf, rows)
+	if !strings.Contains(buf.String(), "Table 3") {
+		t.Error("rendering")
+	}
+}

@@ -1,0 +1,64 @@
+package tlb
+
+import (
+	"testing"
+
+	"repro/internal/config"
+)
+
+func TestLookupInsert(t *testing.T) {
+	tl := New(config.TLBConfig{Entries: 16, Assoc: 4})
+	if tl.Lookup(0x1000) {
+		t.Error("cold TLB should miss")
+	}
+	if !tl.Lookup(0x1800) {
+		t.Error("same page should hit after insert")
+	}
+	if tl.Misses != 1 || tl.Accesses != 2 {
+		t.Errorf("counters: %d misses, %d accesses", tl.Misses, tl.Accesses)
+	}
+}
+
+func TestDirectMappedConflicts(t *testing.T) {
+	tl := New(config.TLBConfig{Entries: 4, Assoc: 1})
+	// Pages 0 and 4 conflict in a 4-set direct-mapped TLB.
+	tl.Lookup(0 << 12)
+	tl.Lookup(4 << 12)
+	if tl.Lookup(0 << 12) {
+		t.Error("conflicting page should have evicted page 0")
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	m := config.Default()
+	h := NewHierarchy(m)
+	addr := uint64(0x12345000)
+	// Cold: L1 miss, L2 miss → L2 latency + walk.
+	if got := h.Translate(addr, false); got != uint64(m.L2TLB.Latency+m.PageWalkLat) {
+		t.Errorf("cold translate = %d", got)
+	}
+	// Warm: L1 hit → 0 (Table 2: L1 TLB latency folded into L1 cache).
+	if got := h.Translate(addr, false); got != 0 {
+		t.Errorf("warm translate = %d", got)
+	}
+	// Instruction-side is independent: still cold for the I-TLB, but the
+	// L2 TLB is now warm → only the L2 TLB latency.
+	if got := h.Translate(addr, true); got != uint64(m.L2TLB.Latency) {
+		t.Errorf("I-side translate = %d", got)
+	}
+}
+
+func TestL2TLBBacksL1(t *testing.T) {
+	m := config.Default()
+	h := NewHierarchy(m)
+	// Fill the direct-mapped L1 D-TLB set with a conflicting page, then
+	// return: first translate warms both levels, conflict evicts L1,
+	// retry hits L2 only.
+	a := uint64(0x40000000)
+	conflict := a + uint64(m.L1DTLB.Entries)<<12
+	h.Translate(a, false)
+	h.Translate(conflict, false)
+	if got := h.Translate(a, false); got != uint64(m.L2TLB.Latency) {
+		t.Errorf("L2 TLB hit = %d, want %d", got, m.L2TLB.Latency)
+	}
+}

@@ -1,0 +1,531 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/xrand"
+)
+
+// Spec names one workload point of the suite and builds its program.
+type Spec struct {
+	// Name matches the paper's figure labels ("623_xalancbmk_s", ...).
+	Name string
+	// Domain is "int" or "fp", following the SPEC speed split.
+	Domain string
+	// Build constructs the program (deterministic per name).
+	Build func() *prog.Program
+}
+
+var registry = map[string]Spec{}
+var order []string
+
+func register(name, domain string, build func() *prog.Program) {
+	if _, dup := registry[name]; dup {
+		panic("workload: duplicate " + name)
+	}
+	registry[name] = Spec{Name: name, Domain: domain, Build: build}
+	order = append(order, name)
+}
+
+// Names returns the workload names in the paper's figure order.
+func Names() []string { return append([]string(nil), order...) }
+
+// Get returns the named workload spec.
+func Get(name string) (Spec, error) {
+	s, ok := registry[name]
+	if !ok {
+		known := Names()
+		sort.Strings(known)
+		return Spec{}, fmt.Errorf("workload: unknown %q (have %v)", name, known)
+	}
+	return s, nil
+}
+
+// Reserved persistent registers for loop-carried chain cursors.
+const (
+	curA = isa.X15
+	curB = isa.X16
+	curC = isa.X17
+)
+
+// stdCfg is the shared config block layout: slot 0 is the boolProducers
+// guard; slots 1..6 hold stable values of the three predictability
+// classes ({0,1}: MVP; 9-bit: TVP; wide: GVP); slot 7 is spare.
+func stdCfg(b *prog.Builder) uint64 {
+	return cfgBlock(b, []uint64{1000, 0, 1, 7, 42, 200, 1 << 20, 0})
+}
+
+const (
+	slotZero  = 1 // stable 0x0
+	slotOne   = 2 // stable 0x1
+	slotSeven = 3 // stable 0x7
+	slot42    = 4 // stable 0x2a
+	slot200   = 5 // stable 0xc8
+	slotWide  = 6 // stable 2^20 (not inlinable)
+)
+
+// pathSpec parametrizes a benchmark's carried critical structure: an
+// unpredictable arena floor of floorLinks pointer loads, against a
+// predictable carried path of wConf conflicted + wHot hot wide links with
+// a B/S tail. The relation between the path latency and the floor latency
+// sets each VP flavor's speedup (see kernels.go).
+type pathSpec struct {
+	floorLinks int
+	wConf      int
+	wHot       int
+	tail       string
+	cursor     isa.Reg
+}
+
+// install sets up the arena and path (during program setup).
+func (ps pathSpec) install(b *prog.Builder, seed uint64) carriedPath {
+	a := setupArena(b, ps.floorLinks+3, ps.wConf, xrand.New(seed))
+	// Hot nodes first: the carried-path cycle returns to node 0 before
+	// the B/S tail executes, so the tail's load latency is the first
+	// node's placement (hot = L1 = fine-grained MVP/TVP gains).
+	conf := make([]bool, 0, ps.wConf+ps.wHot)
+	for i := 0; i < ps.wHot; i++ {
+		conf = append(conf, false)
+	}
+	for i := 0; i < ps.wConf; i++ {
+		conf = append(conf, true)
+	}
+	var p carriedPath
+	if len(conf) > 0 {
+		p = setupCarriedPath(b, ps.cursor, conf, &a)
+	}
+	return p
+}
+
+// emit walks the floor and the path (inside the loop body).
+func (ps pathSpec) emit(b *prog.Builder, p carriedPath) {
+	emitSetPressure(b)
+	ptrChase(b, ps.floorLinks, isa.X12)
+	if len(p.nodes) > 0 {
+		emitCarriedPath(b, p, ps.cursor, ps.tail)
+	}
+}
+
+func init() {
+	// --- 600_perlbench_s: interpreter. Indirect dispatch, boolean
+	// logic, calls, small stable values; a carried path whose tail
+	// boolean pokes just above the floor (small MVP/TVP/GVP gains).
+	for i, cases := range []int{16, 32, 8} {
+		v := i + 1
+		c := cases
+		ps := pathSpec{floorLinks: 4, wConf: 3, wHot: 1, tail: "B", cursor: curC}
+		register(fmt.Sprintf("600_perlbench_s_%d", v), "int", func() *prog.Program {
+			var tbl, arr uint64
+			var fns []prog.Label
+			var cp carriedPath
+			return loop(fmt.Sprintf("perlbench_%d", v), func(b *prog.Builder) {
+				stdCfg(b)
+				seedLCG(b, 0x600+uint64(v))
+				tbl = setupTable(b, c)
+				arr = b.Alloc(4096, 64)
+				fns = buildLeafFns(b, 6)
+				cp = ps.install(b, 0x600+uint64(v))
+			}, func(b *prog.Builder) {
+				indirectDispatch(b, tbl, c, false)
+				ps.emit(b, cp)
+				boolProducers(b, 1, isa.X12)
+				stableLoads(b, []int{slotZero, slotOne, slotSeven}, arr, isa.X12)
+				callTree(b, fns, v)
+				regMoves(b, 1, isa.X12)
+				movzMix(b, 1, isa.X12)
+				stackSpill(b, 2)
+				aluWide(b, 20)
+				predictableBranches(b, 2, isa.X12)
+			})
+		})
+	}
+
+	// --- 602_gcc_s: compiler. Branchy, boolean-heavy; gcc_2 carries a
+	// deep conflicted wide path (its GVP standout), the others milder
+	// small-value paths.
+	for i, spec := range []pathSpec{
+		{floorLinks: 4, wConf: 3, wHot: 1, tail: "S", cursor: curB},
+		{floorLinks: 5, wConf: 5, wHot: 1, tail: "BS", cursor: curB},
+		{floorLinks: 4, wConf: 4, wHot: 1, tail: "", cursor: curB},
+	} {
+		v := i + 1
+		ps := spec
+		register(fmt.Sprintf("602_gcc_s_%d", v), "int", func() *prog.Program {
+			var arr uint64
+			var cp carriedPath
+			return loop(fmt.Sprintf("gcc_%d", v), func(b *prog.Builder) {
+				stdCfg(b)
+				seedLCG(b, 0x602+uint64(v))
+				cp = ps.install(b, 0x602+uint64(v))
+				arr = b.Alloc(4096, 64)
+				setupHistogram(b, 10)
+			}, func(b *prog.Builder) {
+				ps.emit(b, cp)
+				boolProducers(b, 1, isa.X12)
+				stableLoads(b, []int{slotZero, slot42}, arr, isa.X12)
+				branchy(b, 1, isa.X12)
+				histogram(b, 10, 1)
+				regMoves(b, 1, isa.X12)
+				movzMix(b, 1, isa.X12)
+				stackSpill(b, 2)
+				aluWide(b, 24)
+			})
+		})
+	}
+
+	// --- 603_bwaves_s: FP streaming; a carried wide path above the FP
+	// accumulation chain makes bwaves_1 a GVP standout.
+	for i, spec := range []pathSpec{
+		{floorLinks: 0, wConf: 2, wHot: 0, tail: "", cursor: curA},
+		{floorLinks: 0, wConf: 1, wHot: 0, tail: "", cursor: curA},
+	} {
+		v := i + 1
+		ps := spec
+		register(fmt.Sprintf("603_bwaves_s_%d", v), "fp", func() *prog.Program {
+			var st streamState
+			var cp carriedPath
+			return loop(fmt.Sprintf("bwaves_%d", v), func(b *prog.Builder) {
+				stdCfg(b)
+				seedLCG(b, 0x603+uint64(v))
+				st = setupStream(b, 512<<10, true)
+				cp = ps.install(b, 0x603+uint64(v))
+			}, func(b *prog.Builder) {
+				stream(b, st, 5)
+				ps.emit(b, cp)
+				fpChain(b, 2)
+				aluWide(b, 4)
+			})
+		})
+	}
+
+	// --- 605_mcf_s: pointer chasing over a DRAM-resident working set
+	// (every chase link is a compulsory/capacity miss, as in the real
+	// benchmark), with a deep conflicted wide path just above it —
+	// GVP-only double-digit gains.
+	register("605_mcf_s", "int", func() *prog.Program {
+		var cp carriedPath
+		conf := make([]bool, 15)
+		for i := range conf {
+			conf[i] = true
+		}
+		return loop("mcf", func(b *prog.Builder) {
+			stdCfg(b)
+			seedLCG(b, 0x605)
+			a := setupArena(b, 9, 15, xrand.New(0x605))
+			cp = setupCarriedPath(b, curA, conf, &a)
+			setupRing(b, 96*1024, 64, xrand.New(0x605)) // 6 MB DRAM ring
+		}, func(b *prog.Builder) {
+			ptrChase(b, 1, isa.X12)
+			emitCarriedPath(b, cp, curA, "")
+			boolProducers(b, 1, isa.X12)
+			regMoves(b, 1, isa.X12)
+			aluWide(b, 6)
+		})
+	})
+
+	// --- 607_cactuBSSN_s: latency-bound FP chains with moderate
+	// streaming.
+	register("607_cactuBSSN_s", "fp", func() *prog.Program {
+		var st streamState
+		return loop("cactuBSSN", func(b *prog.Builder) {
+			stdCfg(b)
+			seedLCG(b, 0x607)
+			st = setupStream(b, 256<<10, true)
+			setupMatrix(b, 64, 9)
+		}, func(b *prog.Builder) {
+			fpChain(b, 6)
+			stream(b, st, 3)
+			matrixWalk(b, 64, 9, 4)
+		})
+	})
+
+	// --- 619_lbm_s: pure FP streaming over large arrays (prefetcher
+	// dominated).
+	register("619_lbm_s", "fp", func() *prog.Program {
+		var st streamState
+		return loop("lbm", func(b *prog.Builder) {
+			stdCfg(b)
+			seedLCG(b, 0x619)
+			st = setupStream(b, 4<<20, true) // beyond L2
+		}, func(b *prog.Builder) {
+			stream(b, st, 10)
+			fpWide(b, 4)
+		})
+	})
+
+	// --- 620_omnetpp_s: discrete-event simulation. Arena floor (event
+	// structures bounce between L1 and L2) against a slightly deeper
+	// carried wide path; calls and histogram updates.
+	register("620_omnetpp_s", "int", func() *prog.Program {
+		var fns []prog.Label
+		var cp carriedPath
+		ps := pathSpec{floorLinks: 7, wConf: 7, wHot: 1, tail: "", cursor: curA}
+		return loop("omnetpp", func(b *prog.Builder) {
+			stdCfg(b)
+			seedLCG(b, 0x620)
+			cp = ps.install(b, 0x620)
+			setupHistogram(b, 12)
+			fns = buildLeafFns(b, 5)
+		}, func(b *prog.Builder) {
+			ps.emit(b, cp)
+			histogram(b, 12, 1)
+			aluWide(b, 8)
+			callTree(b, fns, 1)
+			boolProducers(b, 1, isa.X12)
+			regMoves(b, 1, isa.X12)
+		})
+	})
+
+	// --- 621_wrf_s: wide-ILP FP with predictable control.
+	register("621_wrf_s", "fp", func() *prog.Program {
+		var st streamState
+		return loop("wrf", func(b *prog.Builder) {
+			stdCfg(b)
+			seedLCG(b, 0x621)
+			st = setupStream(b, 512<<10, true)
+		}, func(b *prog.Builder) {
+			fpWide(b, 8)
+			stream(b, st, 4)
+			predictableBranches(b, 3, isa.X12)
+		})
+	})
+
+	// --- 623_xalancbmk_s: the paper's GVP outlier (§6.1). The critical
+	// path re-derives structure base addresses through a deep carried
+	// chain of stable wide pointer loads (ValueStore::contains()); only
+	// GVP can capture 64-bit pointers, and collapsing the chain brings
+	// roughly the +50% of the paper while MVP/TVP move nothing.
+	register("623_xalancbmk_s", "int", func() *prog.Program {
+		var fns []prog.Label
+		var cp carriedPath
+		ps := pathSpec{floorLinks: 4, wConf: 6, wHot: 0, tail: "", cursor: curA}
+		return loop("xalancbmk", func(b *prog.Builder) {
+			stdCfg(b)
+			seedLCG(b, 0x623)
+			cp = ps.install(b, 0x623)
+			setupSlot(b)
+			fns = buildLeafFns(b, 4)
+		}, func(b *prog.Builder) {
+			ps.emit(b, cp)
+			silentStoreReload(b, isa.X12)
+			boolProducers(b, 1, isa.X12)
+			callTree(b, fns, 1)
+			regMoves(b, 1, isa.X12)
+			aluWide(b, 20)
+		})
+	})
+
+	// --- 625_x264_s: video encode. Integer streaming (copies),
+	// histograms, occasional division.
+	for i, unroll := range []int{6, 4, 8} {
+		v := i + 1
+		u := unroll
+		register(fmt.Sprintf("625_x264_s_%d", v), "int", func() *prog.Program {
+			var st streamState
+			return loop(fmt.Sprintf("x264_%d", v), func(b *prog.Builder) {
+				stdCfg(b)
+				seedLCG(b, 0x625+uint64(v))
+				st = setupStream(b, 256<<10, false)
+				setupHistogram(b, 9)
+			}, func(b *prog.Builder) {
+				stream(b, st, u)
+				histogram(b, 9, 1)
+				divWork(b, isa.X12)
+				aluWide(b, 10)
+				regMoves(b, 1, isa.X12)
+				movzMix(b, 1, isa.X12)
+				stackSpill(b, 2)
+				predictableBranches(b, 2, isa.X12)
+			})
+		})
+	}
+
+	// --- 627_cam4_s: FP with mixed control.
+	register("627_cam4_s", "fp", func() *prog.Program {
+		var st streamState
+		return loop("cam4", func(b *prog.Builder) {
+			stdCfg(b)
+			seedLCG(b, 0x627)
+			st = setupStream(b, 1<<20, true)
+		}, func(b *prog.Builder) {
+			fpWide(b, 5)
+			fpChain(b, 2)
+			stream(b, st, 3)
+			boolProducers(b, 1, isa.X12)
+			branchy(b, 1, isa.X12)
+		})
+	})
+
+	// --- 628_pop2_s: FP chains with calls and streams.
+	register("628_pop2_s", "fp", func() *prog.Program {
+		var st streamState
+		var fns []prog.Label
+		return loop("pop2", func(b *prog.Builder) {
+			stdCfg(b)
+			seedLCG(b, 0x628)
+			st = setupStream(b, 512<<10, true)
+			fns = buildLeafFns(b, 4)
+		}, func(b *prog.Builder) {
+			fpChain(b, 4)
+			stream(b, st, 3)
+			callTree(b, fns, 2)
+			predictableBranches(b, 2, isa.X12)
+		})
+	})
+
+	// --- 631_deepsjeng_s: game tree search. A couple of genuinely
+	// unpredictable branches per position, hash-table probes, boolean
+	// evaluation terms.
+	register("631_deepsjeng_s", "int", func() *prog.Program {
+		return loop("deepsjeng", func(b *prog.Builder) {
+			stdCfg(b)
+			seedLCG(b, 0x631)
+			setupHistogram(b, 12) // 32 KB (L1-resident) hash table
+		}, func(b *prog.Builder) {
+			branchy(b, 2, isa.X12)
+			histogram(b, 12, 2)
+			stackSpill(b, 1)
+			boolProducers(b, 1, isa.X12)
+			predictableBranches(b, 2, isa.X12)
+			aluWide(b, 8)
+			divWork(b, isa.X12)
+		})
+	})
+
+	// --- 638_imagick_s: wide-ILP FP, high baseline IPC.
+	register("638_imagick_s", "fp", func() *prog.Program {
+		var st streamState
+		return loop("imagick", func(b *prog.Builder) {
+			stdCfg(b)
+			seedLCG(b, 0x638)
+			st = setupStream(b, 128<<10, true)
+		}, func(b *prog.Builder) {
+			fpWide(b, 12)
+			stream(b, st, 2)
+			predictableBranches(b, 2, isa.X12)
+		})
+	})
+
+	// --- 641_leela_s: game tree search with a shallow carried boolean
+	// path (MVP-visible) over an arena floor.
+	register("641_leela_s", "int", func() *prog.Program {
+		var cp carriedPath
+		ps := pathSpec{floorLinks: 4, wConf: 3, wHot: 1, tail: "B", cursor: curC}
+		return loop("leela", func(b *prog.Builder) {
+			stdCfg(b)
+			seedLCG(b, 0x641)
+			cp = ps.install(b, 0x641)
+		}, func(b *prog.Builder) {
+			branchy(b, 2, isa.X12)
+			ps.emit(b, cp)
+			boolProducers(b, 1, isa.X12)
+			regMoves(b, 1, isa.X12)
+			movzMix(b, 1, isa.X12)
+			stackSpill(b, 1)
+			aluWide(b, 16)
+		})
+	})
+
+	// --- 644_nab_s: molecular dynamics: serial FP with divisions.
+	register("644_nab_s", "fp", func() *prog.Program {
+		var st streamState
+		return loop("nab", func(b *prog.Builder) {
+			stdCfg(b)
+			seedLCG(b, 0x644)
+			st = setupStream(b, 256<<10, true)
+		}, func(b *prog.Builder) {
+			fpChain(b, 5)
+			b.Fdiv(11, 9, 10)
+			stream(b, st, 2)
+			boolProducers(b, 1, isa.X12)
+		})
+	})
+
+	// --- 648_exchange2_s: cache-resident integer puzzle solver: dense
+	// predictable control, wide integer ILP, no memory pressure — the
+	// suite's highest baseline IPC.
+	register("648_exchange2_s", "int", func() *prog.Program {
+		return loop("exchange2", func(b *prog.Builder) {
+			stdCfg(b)
+			seedLCG(b, 0x648)
+		}, func(b *prog.Builder) {
+			predictableBranches(b, 3, isa.X12)
+			aluWide(b, 16)
+			movzMix(b, 1, isa.X12)
+			boolProducers(b, 1, isa.X12)
+			regMoves(b, 1, isa.X12)
+			stackSpill(b, 1)
+			aluWide(b, 12)
+		})
+	})
+
+	// --- 649_fotonik3d_s: FP stencil: streams plus strided matrix
+	// walks (AMPM territory).
+	register("649_fotonik3d_s", "fp", func() *prog.Program {
+		var st streamState
+		return loop("fotonik3d", func(b *prog.Builder) {
+			stdCfg(b)
+			seedLCG(b, 0x649)
+			st = setupStream(b, 2<<20, true)
+			setupMatrix(b, 128, 10)
+		}, func(b *prog.Builder) {
+			stream(b, st, 6)
+			matrixWalk(b, 128, 10, 4)
+			fpWide(b, 3)
+		})
+	})
+
+	// --- 654_roms_s: FP ocean model. Streams plus a carried 9-bit
+	// path — the benchmark where the paper observed TVP perturbing the
+	// stride prefetcher (§3.4.1).
+	register("654_roms_s", "fp", func() *prog.Program {
+		var st streamState
+		var cp carriedPath
+		var arr uint64
+		ps := pathSpec{floorLinks: 0, wConf: 0, wHot: 2, tail: "SS", cursor: curB}
+		return loop("roms", func(b *prog.Builder) {
+			stdCfg(b)
+			seedLCG(b, 0x654)
+			st = setupStream(b, 1<<20, true)
+			cp = ps.install(b, 0x654)
+			arr = b.Alloc(4096, 64)
+		}, func(b *prog.Builder) {
+			stream(b, st, 5)
+			ps.emit(b, cp)
+			stableLoads(b, []int{slotSeven, slot200}, arr, isa.X12)
+			fpWide(b, 2)
+		})
+	})
+
+	// --- 657_xz_s: compression. Match-finder hash probes, bit-twiddling
+	// branches, a carried boolean/small path (match state).
+	for i, spec := range []pathSpec{
+		{floorLinks: 4, wConf: 3, wHot: 1, tail: "B", cursor: curC},
+		{floorLinks: 5, wConf: 5, wHot: 1, tail: "S", cursor: curC},
+	} {
+		v := i + 1
+		pr := i + 2
+		ps := spec
+		register(fmt.Sprintf("657_xz_s_%d", v), "int", func() *prog.Program {
+			var st streamState
+			var cp carriedPath
+			return loop(fmt.Sprintf("xz_%d", v), func(b *prog.Builder) {
+				stdCfg(b)
+				seedLCG(b, 0x657+uint64(v))
+				st = setupStream(b, 512<<10, false)
+				cp = ps.install(b, 0x657+uint64(v))
+				setupHistogram(b, 13)
+			}, func(b *prog.Builder) {
+				histogram(b, 13, pr)
+				branchy(b, 1, isa.X12)
+				ps.emit(b, cp)
+				stream(b, st, 2)
+				regMoves(b, 1, isa.X12)
+				aluWide(b, 16)
+			})
+		})
+	}
+}

@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/emu"
+	"repro/internal/pipeline"
+)
+
+func TestSuiteShape(t *testing.T) {
+	names := Names()
+	if len(names) != 28 {
+		t.Fatalf("suite has %d workload points, want the paper's 28", len(names))
+	}
+	for _, expect := range []string{
+		"600_perlbench_s_1", "602_gcc_s_2", "603_bwaves_s_1", "605_mcf_s",
+		"623_xalancbmk_s", "648_exchange2_s", "654_roms_s", "657_xz_s_2",
+	} {
+		if _, err := Get(expect); err != nil {
+			t.Errorf("missing %s: %v", expect, err)
+		}
+	}
+	if _, err := Get("nonexistent"); err == nil {
+		t.Error("unknown workload must error")
+	}
+	ints, fps := 0, 0
+	for _, n := range names {
+		s, _ := Get(n)
+		switch s.Domain {
+		case "int":
+			ints++
+		case "fp":
+			fps++
+		default:
+			t.Errorf("%s has bad domain %q", n, s.Domain)
+		}
+	}
+	if ints == 0 || fps == 0 {
+		t.Error("suite must contain both int and fp workloads")
+	}
+}
+
+func TestAllWorkloadsExecuteFunctionally(t *testing.T) {
+	for _, n := range Names() {
+		n := n
+		t.Run(n, func(t *testing.T) {
+			t.Parallel()
+			s, _ := Get(n)
+			e := emu.New(s.Build())
+			var d emu.DynInst
+			for i := 0; i < 30000; i++ {
+				if !e.Step(&d) {
+					t.Fatalf("%s halted after only %d instructions", n, i)
+				}
+			}
+		})
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	s, _ := Get("602_gcc_s_2")
+	a, b := s.Build(), s.Build()
+	if len(a.Code) != len(b.Code) {
+		t.Fatal("non-deterministic code length")
+	}
+	for i := range a.Code {
+		if a.Code[i] != b.Code[i] {
+			t.Fatalf("instruction %d differs between builds", i)
+		}
+	}
+}
+
+func TestTimingSmokeSample(t *testing.T) {
+	// A representative slice through the suite runs on the timing model
+	// without deadlock and with plausible IPC.
+	sample := []string{"600_perlbench_s_1", "605_mcf_s", "619_lbm_s", "623_xalancbmk_s", "648_exchange2_s"}
+	for _, n := range sample {
+		n := n
+		t.Run(n, func(t *testing.T) {
+			t.Parallel()
+			s, _ := Get(n)
+			res := pipeline.New(config.Default(), s.Build()).Run(5000, 40000)
+			if ipc := res.Stats.IPC(); ipc <= 0.01 || ipc > 8 {
+				t.Errorf("%s IPC %.3f implausible", n, ipc)
+			}
+		})
+	}
+}
+
+func TestXalancbmkIsGVPOutlier(t *testing.T) {
+	// §6.1: xalancbmk speeds up dramatically under GVP while MVP/TVP do
+	// essentially nothing (the chain values need more than 9 bits).
+	s, _ := Get("623_xalancbmk_s")
+	base := pipeline.New(config.Default(), s.Build()).Run(20000, 120000)
+	mvp := pipeline.New(config.Default().WithVP(config.MVP), s.Build()).Run(20000, 120000)
+	gvp := pipeline.New(config.Default().WithVP(config.GVP), s.Build()).Run(20000, 120000)
+	mvpUp := mvp.Stats.IPC()/base.Stats.IPC() - 1
+	gvpUp := gvp.Stats.IPC()/base.Stats.IPC() - 1
+	if gvpUp < 0.25 {
+		t.Errorf("GVP uplift on xalancbmk = %.1f%%, want the paper's dramatic gain", 100*gvpUp)
+	}
+	if mvpUp > 0.05 {
+		t.Errorf("MVP uplift on xalancbmk = %.1f%%, should be near zero", 100*mvpUp)
+	}
+}
+
+func TestValueDistributionSkew(t *testing.T) {
+	// Fig. 1: 0x0 must be the most frequently produced GPR value.
+	counts := map[uint64]int{}
+	total := 0
+	for _, n := range []string{"600_perlbench_s_1", "602_gcc_s_1", "641_leela_s"} {
+		s, _ := Get(n)
+		e := emu.New(s.Build())
+		var d emu.DynInst
+		for i := 0; i < 40000; i++ {
+			if !e.Step(&d) {
+				break
+			}
+			if d.WritesGPRResult() {
+				counts[d.Result]++
+				total++
+			}
+		}
+	}
+	zero := float64(counts[0]) / float64(total)
+	if zero < 0.03 {
+		t.Errorf("0x0 is only %.1f%% of produced values; Fig. 1 wants it dominant", 100*zero)
+	}
+	for v, c := range counts {
+		if v != 0 && c > counts[0] {
+			t.Errorf("value %#x (%d) outnumbers 0x0 (%d)", v, c, counts[0])
+		}
+	}
+}
+
+func TestUopExpansionRange(t *testing.T) {
+	// Fig. 2: expansion ratios should lie in a plausible 1.0–1.5 band.
+	for _, n := range []string{"619_lbm_s", "648_exchange2_s"} {
+		s, _ := Get(n)
+		res := pipeline.New(config.Default(), s.Build()).Run(2000, 30000)
+		r := res.Stats.UopsPerInst()
+		if r < 1.0 || r > 1.5 {
+			t.Errorf("%s uops/inst = %.3f", n, r)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package xrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must produce the same sequence")
+		}
+	}
+}
+
+func TestZeroSeedRemapped(t *testing.T) {
+	r := New(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed must not produce a stuck generator")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(17); v < 0 || v >= 17 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) must panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 10000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestOneInRate(t *testing.T) {
+	r := New(123)
+	hits := 0
+	const n = 160000
+	for i := 0; i < n; i++ {
+		if r.OneIn(16) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if rate < 0.055 || rate > 0.07 {
+		t.Errorf("OneIn(16) rate = %.4f, want ≈ 0.0625", rate)
+	}
+	if !r.OneIn(1) || !r.OneIn(0) {
+		t.Error("OneIn(n<=1) must always be true")
+	}
+}
+
+func TestUint64nProperty(t *testing.T) {
+	r := New(5)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		return r.Uint64n(n) < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitBalance(t *testing.T) {
+	r := New(77)
+	var ones [64]int
+	const n = 4096
+	for i := 0; i < n; i++ {
+		v := r.Uint64()
+		for b := 0; b < 64; b++ {
+			ones[b] += int(v >> b & 1)
+		}
+	}
+	for b := 0; b < 64; b++ {
+		frac := float64(ones[b]) / n
+		if frac < 0.42 || frac > 0.58 {
+			t.Errorf("bit %d biased: %.3f", b, frac)
+		}
+	}
+}
