@@ -1,0 +1,32 @@
+# Development gates for the TVP reproduction.
+#
+#   make check   # what CI runs: vet, build, race on the concurrency-
+#                # sensitive packages, then the full test suite
+#   make bench   # the E1–E14 benchmark sweep + simulator throughput
+#   make report  # regenerate the full EXPERIMENTS.md report
+
+GO ?= go
+
+.PHONY: check vet build test race bench report
+
+check: vet build race test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+# The run cache and the report fan-out are the concurrency hot spots:
+# keep them race-clean at the short test length.
+race:
+	$(GO) test -race ./internal/simcache ./internal/report
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+report:
+	$(GO) run ./cmd/tvpreport -cachestats

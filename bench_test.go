@@ -9,6 +9,11 @@ package tvp
 //
 // produces the whole evaluation sweep. cmd/tvpreport runs the same
 // experiments at full length and prints the detailed per-benchmark rows.
+//
+// Experiment benchmarks reset the run memoization cache at the top of
+// every iteration, so they time a from-scratch regeneration (while still
+// benefiting from sharing within the experiment, as tvpreport does). The
+// BenchmarkReportSweep* pair quantifies the cross-experiment cache win.
 
 import (
 	"testing"
@@ -44,7 +49,11 @@ func sampled() report.Config {
 // are 0x0 (the paper's dominant value).
 func BenchmarkFig1ValueDistribution(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		vs := report.Fig1(sampled(), 10)
+		report.ResetRunCache()
+		vs, err := report.Fig1(sampled(), 10)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if vs[0].Value == 0 {
 			b.ReportMetric(vs[0].Percent, "%zero")
 		}
@@ -55,7 +64,11 @@ func BenchmarkFig1ValueDistribution(b *testing.B) {
 // (E2). Metrics: mean µops/instruction and harmonic-mean IPC.
 func BenchmarkFig2BaselineIPC(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, uops, ipc := report.Fig2(sampled())
+		report.ResetRunCache()
+		_, uops, ipc, err := report.Fig2(sampled())
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(uops, "uops/inst")
 		b.ReportMetric(ipc, "hmean-IPC")
 	}
@@ -65,7 +78,11 @@ func BenchmarkFig2BaselineIPC(b *testing.B) {
 // Metrics: geomean speedup percentages per flavor.
 func BenchmarkFig3VPSpeedup(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, sum := report.Fig3(sampled())
+		report.ResetRunCache()
+		_, sum, err := report.Fig3(sampled())
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(sum.GeomeanSpeedup[0], "MVP%")
 		b.ReportMetric(sum.GeomeanSpeedup[1], "TVP%")
 		b.ReportMetric(sum.GeomeanSpeedup[2], "GVP%")
@@ -78,7 +95,11 @@ func BenchmarkTable3BudgetSweep(b *testing.B) {
 	c := sampled()
 	c.Workloads = []string{"623_xalancbmk_s", "602_gcc_s_2"}
 	for i := 0; i < b.N; i++ {
-		rows := report.Table3(c)
+		report.ResetRunCache()
+		rows, err := report.Table3(c)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(rows[1].Geomean[2], "GVP%@1x")
 		b.ReportMetric(rows[1].StorageKB[2], "GVP-KB")
 	}
@@ -88,7 +109,11 @@ func BenchmarkTable3BudgetSweep(b *testing.B) {
 // (E5). Metrics: mean move-elimination and SpSR percentages (TVP+SpSR).
 func BenchmarkFig4RenameEliminations(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, mean := report.Fig4(sampled(), config.TVP)
+		report.ResetRunCache()
+		_, mean, err := report.Fig4(sampled(), config.TVP)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(mean.Move, "move%")
 		b.ReportMetric(mean.SpSR, "spsr%")
 		b.ReportMetric(mean.NineBit, "9bit%")
@@ -99,7 +124,11 @@ func BenchmarkFig4RenameEliminations(b *testing.B) {
 // Metrics: TVP and TVP+SpSR geomeans.
 func BenchmarkFig5SpSRSpeedup(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, geo := report.Fig5(sampled())
+		report.ResetRunCache()
+		_, geo, err := report.Fig5(sampled())
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(geo[2], "TVP%")
 		b.ReportMetric(geo[3], "TVP+SpSR%")
 	}
@@ -109,7 +138,11 @@ func BenchmarkFig5SpSRSpeedup(b *testing.B) {
 // Metrics: TVP+SpSR INT PRF writes and IQ dispatches vs baseline.
 func BenchmarkFig6Activity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := report.Fig6(sampled())
+		report.ResetRunCache()
+		rows, err := report.Fig6(sampled())
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(rows[3].IntPRFWrites, "TVP+SpSR-PRFwr%")
 		b.ReportMetric(rows[3].IQAdded, "TVP+SpSR-IQadd%")
 	}
@@ -121,7 +154,11 @@ func BenchmarkAblationSilencing(b *testing.B) {
 	c := benchConfig()
 	c.Workloads = []string{"600_perlbench_s_1", "641_leela_s"}
 	for i := 0; i < b.N; i++ {
-		rows := report.AblationSilencing(c, []int{15, 250})
+		report.ResetRunCache()
+		rows, err := report.AblationSilencing(c, []int{15, 250})
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(rows[0].Geomean[0], "MVP%@15c")
 		b.ReportMetric(rows[1].Geomean[0], "MVP%@250c")
 	}
@@ -133,35 +170,89 @@ func BenchmarkAblationPrefetch(b *testing.B) {
 	c := benchConfig()
 	c.Workloads = []string{"654_roms_s"}
 	for i := 0; i < b.N; i++ {
-		rows := report.AblationPrefetch(c)
+		report.ResetRunCache()
+		rows, err := report.AblationPrefetch(c)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(rows[0].WithStride, "with%")
 		b.ReportMetric(rows[0].WithoutStride, "without%")
 	}
 }
 
-// BenchmarkSimulatorThroughput measures raw simulation speed (simulated
-// instructions per wall second) on the baseline machine — the practical
-// limit on experiment scale.
-func BenchmarkSimulatorThroughput(b *testing.B) {
+// reportSweep regenerates the core speedup experiments (Fig. 3, Fig. 5,
+// Table 3) back to back, the way cmd/tvpreport does. With memoization the
+// Fig. 5 MVP/TVP points and the Table 3 1× row replay Fig. 3's runs and
+// every experiment shares one set of baselines.
+func reportSweep(b *testing.B, c report.Config) {
+	if _, _, err := report.Fig3(c); err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := report.Fig5(c); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := report.Table3(c); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkReportSweep times the memoized multi-experiment sweep (E3, E6,
+// E4 back to back). Compare against BenchmarkReportSweepNoCache for the
+// cross-experiment cache win.
+func BenchmarkReportSweep(b *testing.B) {
+	c := sampled()
+	c.Workloads = sample[:3]
+	for i := 0; i < b.N; i++ {
+		report.ResetRunCache()
+		reportSweep(b, c)
+	}
+}
+
+// BenchmarkReportSweepNoCache is the same sweep with memoization bypassed:
+// every simulation point is re-simulated, as the pre-cache harness did.
+func BenchmarkReportSweepNoCache(b *testing.B) {
+	c := sampled()
+	c.Workloads = sample[:3]
+	c.NoCache = true
+	for i := 0; i < b.N; i++ {
+		reportSweep(b, c)
+	}
+}
+
+// BenchmarkSimThroughput measures raw simulation speed on the baseline
+// machine — the practical limit on experiment scale. The headline metric
+// is MIPS (simulated megainstructions per wall second); allocation counts
+// track the hot-path churn that bounds it.
+func BenchmarkSimThroughput(b *testing.B) {
 	b.ReportAllocs()
+	var insts uint64
 	for i := 0; i < b.N; i++ {
 		res, err := Run(Options{Workload: "648_exchange2_s", Warmup: 0, MaxInsts: 100_000})
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(float64(res.TotalInsts), "sim-insts/op")
+		insts += res.TotalInsts
 	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds()/1e6, "MIPS")
+}
+
+// BenchmarkSimulatorThroughput is the historical name of the throughput
+// benchmark, kept so BENCH_*.json series remain comparable.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	BenchmarkSimThroughput(b)
 }
 
 // BenchmarkSimulatorThroughputVP measures simulation speed with the full
 // TVP+SpSR machinery engaged.
 func BenchmarkSimulatorThroughputVP(b *testing.B) {
 	b.ReportAllocs()
+	var insts uint64
 	for i := 0; i < b.N; i++ {
 		res, err := Run(Options{Workload: "602_gcc_s_2", VP: TVP, SpSR: true, Warmup: 0, MaxInsts: 100_000})
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(float64(res.TotalInsts), "sim-insts/op")
+		insts += res.TotalInsts
 	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds()/1e6, "MIPS")
 }

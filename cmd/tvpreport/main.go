@@ -2,6 +2,10 @@
 // synthetic workload suite (see DESIGN.md's experiment index). With no
 // selection flags it produces the full report used for EXPERIMENTS.md.
 //
+// Identical simulation points (workload, machine fingerprint, warmup,
+// insts) are memoized across experiments, so e.g. the baseline runs
+// shared by Figs. 2/3/5/6 and Table 3 are simulated once.
+//
 // Usage:
 //
 //	tvpreport                 # everything
@@ -10,12 +14,16 @@
 //	tvpreport -storage        # §3.3 predictor storage model
 //	tvpreport -ablation silencing|prefetch
 //	tvpreport -insts 250000 -warmup 50000
+//	tvpreport -nocache        # re-simulate every point (cache bypass)
+//	tvpreport -cpuprofile report.pprof -fig 3
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/config"
 	"repro/internal/report"
@@ -23,16 +31,45 @@ import (
 
 func main() {
 	var (
-		fig      = flag.Int("fig", 0, "regenerate one figure (1-6)")
-		table    = flag.Int("table", 0, "regenerate one table (1-3)")
-		storage  = flag.Bool("storage", false, "print the predictor storage model")
-		ablation = flag.String("ablation", "", "run an ablation: silencing|prefetch|dynsilence")
-		warm     = flag.Uint64("warmup", 50_000, "warmup instructions per run")
-		insts    = flag.Uint64("insts", 250_000, "measured instructions per run")
+		fig        = flag.Int("fig", 0, "regenerate one figure (1-6)")
+		table      = flag.Int("table", 0, "regenerate one table (1-3)")
+		storage    = flag.Bool("storage", false, "print the predictor storage model")
+		ablation   = flag.String("ablation", "", "run an ablation: silencing|prefetch|dynsilence|validation")
+		warm       = flag.Uint64("warmup", 50_000, "warmup instructions per run")
+		insts      = flag.Uint64("insts", 250_000, "measured instructions per run")
+		nocache    = flag.Bool("nocache", false, "bypass the run memoization cache")
+		fastwarm   = flag.Bool("fastwarmup", false, "resume runs from a shared functional warmup checkpoint (cold microarch state; see README)")
+		cacheStats = flag.Bool("cachestats", false, "print run-cache hit/miss counters on exit")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
-	cfg := report.Config{Warmup: *warm, Insts: *insts}
+	if *fig < 0 || *fig > 6 {
+		fatal(fmt.Errorf("-fig %d out of range (want 1-6)", *fig))
+	}
+	if *table < 0 || *table > 3 {
+		fatal(fmt.Errorf("-table %d out of range (want 1-3)", *table))
+	}
+	switch *ablation {
+	case "", "silencing", "prefetch", "dynsilence", "validation":
+	default:
+		fatal(fmt.Errorf("unknown ablation %q (want silencing|prefetch|dynsilence|validation)", *ablation))
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	cfg := report.Config{Warmup: *warm, Insts: *insts, NoCache: *nocache, FastWarmup: *fastwarm}
 	w := os.Stdout
 	all := *fig == 0 && *table == 0 && !*storage && *ablation == ""
 
@@ -49,38 +86,65 @@ func main() {
 		fmt.Fprintln(w)
 	}
 	if all || *fig == 1 {
-		report.WriteFig1(w, report.Fig1(cfg, 20))
+		vs, err := report.Fig1(cfg, 20)
+		if err != nil {
+			fatal(err)
+		}
+		report.WriteFig1(w, vs)
 		fmt.Fprintln(w)
 	}
 	if all || *fig == 2 {
-		rows, mu, hi := report.Fig2(cfg)
+		rows, mu, hi, err := report.Fig2(cfg)
+		if err != nil {
+			fatal(err)
+		}
 		report.WriteFig2(w, rows, mu, hi)
 		fmt.Fprintln(w)
 	}
 	if all || *fig == 3 {
-		rows, sum := report.Fig3(cfg)
+		rows, sum, err := report.Fig3(cfg)
+		if err != nil {
+			fatal(err)
+		}
 		report.WriteFig3(w, rows, sum)
 		fmt.Fprintln(w)
 	}
 	if all || *table == 3 {
-		report.WriteTable3(w, report.Table3(cfg))
+		rows, err := report.Table3(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		report.WriteTable3(w, rows)
 		fmt.Fprintln(w)
 	}
 	if all || *fig == 4 {
-		rows, mean := report.Fig4(cfg, config.MVP)
+		rows, mean, err := report.Fig4(cfg, config.MVP)
+		if err != nil {
+			fatal(err)
+		}
 		report.WriteFig4(w, "Fig. 4a — % dynamic instructions eliminated at rename (MVP + SpSR)", rows, mean)
 		fmt.Fprintln(w)
-		rows, mean = report.Fig4(cfg, config.TVP)
+		rows, mean, err = report.Fig4(cfg, config.TVP)
+		if err != nil {
+			fatal(err)
+		}
 		report.WriteFig4(w, "Fig. 4b — % dynamic instructions eliminated at rename (TVP + SpSR)", rows, mean)
 		fmt.Fprintln(w)
 	}
 	if all || *fig == 5 {
-		rows, geo := report.Fig5(cfg)
+		rows, geo, err := report.Fig5(cfg)
+		if err != nil {
+			fatal(err)
+		}
 		report.WriteFig5(w, rows, geo)
 		fmt.Fprintln(w)
 	}
 	if all || *fig == 6 {
-		report.WriteFig6(w, report.Fig6(cfg))
+		rows, err := report.Fig6(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		report.WriteFig6(w, rows)
 		fmt.Fprintln(w)
 	}
 	if all || *ablation == "silencing" {
@@ -88,21 +152,56 @@ func main() {
 		// refetched instruction immediately re-uses the same wrong
 		// confident prediction and the machine livelocks, exactly as
 		// §3.4.1 warns (see TestLivelockWithoutSilencing).
-		report.WriteSilencing(w, report.AblationSilencing(cfg, []int{15, 60, 250, 1000}))
+		rows, err := report.AblationSilencing(cfg, []int{15, 60, 250, 1000})
+		if err != nil {
+			fatal(err)
+		}
+		report.WriteSilencing(w, rows)
 		fmt.Fprintln(w)
 	}
 	if all || *ablation == "prefetch" {
-		report.WritePrefetch(w, report.AblationPrefetch(cfg))
+		rows, err := report.AblationPrefetch(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		report.WritePrefetch(w, rows)
 		fmt.Fprintln(w)
 	}
 	if all || *ablation == "dynsilence" {
-		fixed, dynamic := report.AblationDynamicSilence(cfg)
+		fixed, dynamic, err := report.AblationDynamicSilence(cfg)
+		if err != nil {
+			fatal(err)
+		}
 		report.WriteDynamicSilence(w, fixed, dynamic)
 		fmt.Fprintln(w)
 	}
 	if all || *ablation == "validation" {
-		sp, rd := report.AblationValidation(cfg)
+		sp, rd, err := report.AblationValidation(cfg)
+		if err != nil {
+			fatal(err)
+		}
 		report.WriteValidation(w, sp, rd)
 		fmt.Fprintln(w)
 	}
+
+	if *cacheStats {
+		hits, misses := report.RunCacheCounters()
+		fmt.Fprintf(os.Stderr, "run cache: %d hits, %d misses (%d unique points)\n", hits, misses, misses)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tvpreport:", err)
+	os.Exit(1)
 }

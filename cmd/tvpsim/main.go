@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	tvp "repro"
@@ -39,7 +41,8 @@ func parseVP(s string) (tvp.VPMode, error) {
 
 // runCompare runs baseline, MVP, TVP and GVP on each workload and prints
 // per-benchmark speedups plus coverage, mirroring the paper's Fig. 3.
-func runCompare(names []string, spsr bool, warm, insts uint64) {
+// It returns the number of failed runs.
+func runCompare(names []string, spsr bool, warm, insts uint64) int {
 	modes := []tvp.VPMode{tvp.VPOff, tvp.MVP, tvp.TVP, tvp.GVP}
 	var opts []tvp.Options
 	for _, n := range names {
@@ -51,13 +54,19 @@ func runCompare(names []string, spsr bool, warm, insts uint64) {
 	fmt.Printf("%-22s %8s | %8s %7s | %8s %7s | %8s %7s\n",
 		"workload", "baseIPC", "MVP%", "cov%", "TVP%", "cov%", "GVP%", "cov%")
 	var sp [3][]float64
+	nerr := 0
 	for i, n := range names {
 		row := results[i*4 : i*4+4]
+		bad := false
 		for j := 0; j < 4; j++ {
 			if errs[i*4+j] != nil {
 				fmt.Printf("%-22s error: %v\n", n, errs[i*4+j])
-				continue
+				nerr++
+				bad = true
 			}
+		}
+		if bad {
+			continue
 		}
 		base := row[0].Stats.IPC()
 		fmt.Printf("%-22s %8.3f |", n, base)
@@ -71,6 +80,10 @@ func runCompare(names []string, spsr bool, warm, insts uint64) {
 	}
 	fmt.Printf("%-22s %8s |", "geomean", "")
 	for j := 0; j < 3; j++ {
+		if len(sp[j]) == 0 {
+			fmt.Printf(" %8s %7s |", "-", "")
+			continue
+		}
 		g := 1.0
 		for _, v := range sp[j] {
 			g *= 1 + v/100
@@ -79,6 +92,7 @@ func runCompare(names []string, spsr bool, warm, insts uint64) {
 		fmt.Printf(" %+8.2f %7s |", g, "")
 	}
 	fmt.Println()
+	return nerr
 }
 
 func pow(x, y float64) float64 {
@@ -114,15 +128,56 @@ func main() {
 		insts   = flag.Uint64("insts", 300_000, "measured instructions")
 		compare = flag.Bool("compare", false, "run baseline+MVP+TVP+GVP and print speedups")
 		ptrace  = flag.Int("pipetrace", 0, "print an O3-pipeview-style trace of the first N committed µops")
+		cpuprof = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	// Exit via this first-registered defer so the profile-writing defers
+	// below still run before the process terminates on failure.
+	exitCode := 0
+	defer func() {
+		if exitCode != 0 {
+			os.Exit(exitCode)
+		}
+	}()
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tvpsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "tvpsim:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tvpsim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "tvpsim:", err)
+			}
+		}()
+	}
 
 	if *compare {
 		names := tvp.Benchmarks()
 		if !*all && *wl != "" {
 			names = []string{*wl}
 		}
-		runCompare(names, *spsr, *warm, *insts)
+		if runCompare(names, *spsr, *warm, *insts) > 0 {
+			exitCode = 1
+		}
 		return
 	}
 
@@ -166,6 +221,7 @@ func main() {
 	for i, r := range results {
 		if errs[i] != nil {
 			fmt.Printf("%-22s error: %v\n", names[i], errs[i])
+			exitCode = 1
 			continue
 		}
 		st := &r.Stats

@@ -32,9 +32,10 @@ func NewBTB(entries, assoc int) *BTB {
 		nsets &= nsets - 1
 	}
 	b := &BTB{assoc: assoc, setMask: uint64(nsets - 1)}
+	backing := make([]btbEntry, nsets*assoc)
 	b.sets = make([][]btbEntry, nsets)
 	for i := range b.sets {
-		b.sets[i] = make([]btbEntry, assoc)
+		b.sets[i] = backing[i*assoc : (i+1)*assoc : (i+1)*assoc]
 	}
 	return b
 }

@@ -101,9 +101,12 @@ func New(name string, cfg config.CacheConfig, next Level, pf Prefetcher) *Cache 
 	if nsets&(nsets-1) != 0 {
 		panic("cache: set count must be a power of two")
 	}
+	// One flat backing array sliced per set: cores are built per run, so
+	// constructor allocation count is on the experiment hot path.
+	backing := make([]line, nsets*cfg.Assoc)
 	c.sets = make([][]line, nsets)
 	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Assoc)
+		c.sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
 	}
 	return c
 }

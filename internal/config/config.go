@@ -5,7 +5,11 @@
 // (VP flavor, SpSR on/off, predictor budget, prefetcher on/off) from it.
 package config
 
-import "fmt"
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
 
 // VPMode selects the value prediction flavor (§3, §6.1).
 type VPMode int
@@ -321,6 +325,17 @@ func defaultFUs() []FuncUnit {
 		add(fmt.Sprintf("st%d", i), CapStore, true)
 	}
 	return fus
+}
+
+// Fingerprint returns a canonical content hash of the configuration.
+// Machine contains only value fields and slices of value types, so the
+// %#v rendering is a complete, deterministic serialization: two
+// configurations share a fingerprint exactly when every field (including
+// every table geometry and functional-unit entry) is equal. The
+// experiment run cache (internal/simcache) keys simulation results on it.
+func (m *Machine) Fingerprint() string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%#v", *m)))
+	return hex.EncodeToString(sum[:])
 }
 
 // Clone returns a deep copy of the machine configuration.

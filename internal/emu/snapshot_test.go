@@ -1,0 +1,192 @@
+package emu
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// loopProgram builds a store/load loop that churns registers, flags and a
+// multi-page data buffer, so mid-run architectural state is nontrivial.
+func loopProgram(iters uint64) *prog.Program {
+	b := prog.NewBuilder("snapshot-loop")
+	buf := b.Alloc(3*4096, 8)
+	b.MovImm(isa.X1, buf)
+	b.MovImm(isa.X2, iters)
+	b.MovImm(isa.X3, 0x9E3779B97F4A7C15)
+	top := b.Here()
+	b.AndI(isa.X4, isa.X2, 1023)
+	b.LslI(isa.X4, isa.X4, 3)
+	b.Add(isa.X4, isa.X4, isa.X1)
+	b.Str(isa.X3, isa.X4, 0, 8)
+	b.Ldr(isa.X5, isa.X4, 0, 8)
+	b.Add(isa.X3, isa.X3, isa.X5)
+	b.EorI(isa.X3, isa.X3, 0x5bd1)
+	b.SubsI(isa.X2, isa.X2, 1)
+	b.BCond(isa.NE, top)
+	b.Halt()
+	return b.Build()
+}
+
+// archEqual compares the complete architectural state of two emulators:
+// registers, flags, position, and every byte of mapped memory.
+func archEqual(t *testing.T, a, b *Emulator) {
+	t.Helper()
+	if a.X != b.X {
+		t.Errorf("integer registers differ: %v vs %v", a.X, b.X)
+	}
+	if a.D != b.D {
+		t.Errorf("FP registers differ")
+	}
+	if a.Flags != b.Flags {
+		t.Errorf("flags differ: %+v vs %+v", a.Flags, b.Flags)
+	}
+	if a.PC() != b.PC() || a.Executed() != b.Executed() || a.Halted() != b.Halted() {
+		t.Errorf("position differs: pc %#x/%#x seq %d/%d halted %v/%v",
+			a.PC(), b.PC(), a.Executed(), b.Executed(), a.Halted(), b.Halted())
+	}
+	for pn, pa := range a.Mem.pages {
+		pb := b.Mem.readPage(pn * pageSize)
+		if *pa != *pb {
+			t.Errorf("page %#x differs", pn*pageSize)
+		}
+	}
+	if got, want := b.Mem.PageCount(), a.Mem.PageCount(); got != want {
+		t.Errorf("page count %d, want %d", got, want)
+	}
+}
+
+// TestSnapshotRestoreBitIdentical checks the checkpointing contract: a run
+// resumed from a mid-program snapshot finishes in exactly the state a
+// fresh uninterrupted run reaches.
+func TestSnapshotRestoreBitIdentical(t *testing.T) {
+	p := loopProgram(5000)
+
+	fresh := New(p)
+	fresh.Run(0, nil) // to HALT
+
+	warm := New(p)
+	warm.Run(7000, nil) // mid-loop: ~778 iterations in
+	snap := warm.Snapshot()
+	if snap.Seq() != 7000 {
+		t.Fatalf("snapshot seq = %d, want 7000", snap.Seq())
+	}
+
+	resumed := snap.Restore()
+	if resumed.Executed() != 7000 {
+		t.Fatalf("restored emulator at seq %d, want 7000", resumed.Executed())
+	}
+	resumed.Run(0, nil)
+	archEqual(t, fresh, resumed)
+}
+
+// TestSnapshotIsolation checks the copy-on-write discipline: emulators
+// restored from one snapshot do not see each other's writes, the snapshot
+// stays frozen while the snapshotted emulator keeps running, and a second
+// restore starts from the original state.
+func TestSnapshotIsolation(t *testing.T) {
+	p := loopProgram(5000)
+	warm := New(p)
+	warm.Run(7000, nil)
+	snap := warm.Snapshot()
+
+	a := snap.Restore()
+	b := snap.Restore()
+
+	// The snapshotted emulator continues past the checkpoint...
+	warm.Run(9000, nil)
+	// ...and A runs to completion, mutating its private page copies.
+	a.Run(0, nil)
+
+	// B is still exactly at the checkpoint.
+	if b.Executed() != 7000 {
+		t.Fatalf("b advanced to %d without stepping", b.Executed())
+	}
+	b.Run(0, nil)
+	archEqual(t, a, b)
+
+	// A third restore replays to the same final state as well.
+	c := snap.Restore()
+	c.Run(0, nil)
+	archEqual(t, a, c)
+}
+
+// TestSnapshotConcurrentRestore exercises concurrent Restore+Run from one
+// shared snapshot — the report layer's fan-out pattern — under -race.
+func TestSnapshotConcurrentRestore(t *testing.T) {
+	p := loopProgram(3000)
+	warm := New(p)
+	warm.Run(5000, nil)
+	snap := warm.Snapshot()
+
+	ref := snap.Restore()
+	ref.Run(0, nil)
+
+	const workers = 8
+	done := make(chan *Emulator, workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			e := snap.Restore()
+			e.Run(0, nil)
+			done <- e
+		}()
+	}
+	for i := 0; i < workers; i++ {
+		archEqual(t, ref, <-done)
+	}
+}
+
+// TestMemoryCOWSharing pins down the page-sharing economics: restoring
+// does not copy pages up front, and only written pages are privatized.
+func TestMemoryCOWSharing(t *testing.T) {
+	m := NewMemory()
+	m.Write(0x1000, 0xdeadbeef, 8)
+	m.Write(0x3000, 0x12345678, 8)
+
+	frozen := m.share()
+	clone := memoryFromShared(frozen)
+
+	// Shared pages are physically the same array until written.
+	if clone.readPage(0x1000) != m.readPage(0x1000) {
+		t.Error("read did not share the frozen page")
+	}
+	clone.Write(0x1000, 1, 8)
+	if clone.readPage(0x1000) == m.readPage(0x1000) {
+		t.Error("write did not privatize the page")
+	}
+	if m.Read(0x1000, 8) != 0xdeadbeef {
+		t.Errorf("original page mutated through clone: %#x", m.Read(0x1000, 8))
+	}
+	if clone.Read(0x3000, 8) != 0x12345678 {
+		t.Error("unwritten page lost its contents")
+	}
+
+	// The original memory also went copy-on-write at share() time: its
+	// own writes must not leak into the frozen image or other clones.
+	m.Write(0x3000, 99, 8)
+	clone2 := memoryFromShared(frozen)
+	if clone2.Read(0x3000, 8) != 0x12345678 {
+		t.Errorf("frozen image mutated by original: %#x", clone2.Read(0x3000, 8))
+	}
+}
+
+// TestMemoryCrossPage checks multi-byte accesses that straddle a page
+// boundary survive the last-page translation cache.
+func TestMemoryCrossPage(t *testing.T) {
+	m := NewMemory()
+	const addr = 2*pageSize - 3 // 8-byte access spanning two pages
+	m.Write(addr, 0x0102030405060708, 8)
+	if got := m.Read(addr, 8); got != 0x0102030405060708 {
+		t.Errorf("cross-page read = %#x", got)
+	}
+	// The bytes landing on the second page (little-endian: 05 04 03 02)
+	// are visible through an in-page read there.
+	if got := m.Read(2*pageSize, 4); got != 0x02030405 {
+		t.Errorf("high half = %#x, want 0x02030405", got)
+	}
+	// And the first-page prefix (08 07 06) reads back below the boundary.
+	if got := m.Read(addr, 2); got != 0x0708 {
+		t.Errorf("low prefix = %#x, want 0x0708", got)
+	}
+}

@@ -17,6 +17,7 @@ import "fmt"
 type Stream struct {
 	emu    *Emulator
 	ring   []DynInst
+	mask   uint64 // len(ring)-1; capacity is forced to a power of two
 	head   uint64 // sequence number of the next record to generate
 	cursor uint64 // sequence number of the next record to deliver
 	done   bool   // emulator has halted; head is the final count
@@ -27,12 +28,22 @@ type Stream struct {
 const DefaultStreamCapacity = 4096
 
 // NewStream returns a stream over the emulator with the given ring
-// capacity (DefaultStreamCapacity if cap <= 0).
+// capacity (DefaultStreamCapacity if cap <= 0). The stream numbering
+// starts at the emulator's current position, so a stream over an emulator
+// restored from a warmup checkpoint delivers records whose sequence
+// numbers continue the pre-checkpoint count — Cursor, Rewind and the
+// records' Seq fields all agree.
 func NewStream(e *Emulator, capacity int) *Stream {
 	if capacity <= 0 {
 		capacity = DefaultStreamCapacity
 	}
-	return &Stream{emu: e, ring: make([]DynInst, capacity)}
+	// Round up to a power of two so ring indexing is a mask, not a
+	// division — Peek runs once per fetched µop.
+	for capacity&(capacity-1) != 0 {
+		capacity += capacity & -capacity
+	}
+	start := e.Executed()
+	return &Stream{emu: e, ring: make([]DynInst, capacity), mask: uint64(capacity - 1), head: start, cursor: start}
 }
 
 // Cursor returns the sequence number of the next record Next will deliver.
@@ -56,14 +67,14 @@ func (s *Stream) Peek() *DynInst {
 		if s.done {
 			return nil
 		}
-		slot := &s.ring[s.head%uint64(len(s.ring))]
+		slot := &s.ring[s.head&s.mask]
 		if !s.emu.Step(slot) {
 			s.done = true
 			return nil
 		}
 		s.head++
 	}
-	return &s.ring[s.cursor%uint64(len(s.ring))]
+	return &s.ring[s.cursor&s.mask]
 }
 
 // Rewind moves the cursor back to seq, so the instruction with that

@@ -25,11 +25,11 @@ func (c *Core) dispatch() {
 			c.st.IQFullStalls++
 			break
 		}
-		if u.isLoad && len(c.lq) >= c.cfg.LQSize {
+		if u.isLoad && c.lq.len() >= c.cfg.LQSize {
 			c.st.LQFullStalls++
 			break
 		}
-		if u.isStore && len(c.sq) >= c.cfg.SQSize {
+		if u.isStore && c.sq.len() >= c.cfg.SQSize {
 			c.st.SQFullStalls++
 			break
 		}
@@ -38,10 +38,10 @@ func (c *Core) dispatch() {
 		c.iq = append(c.iq, u)
 		c.st.IQAdded++
 		if u.isLoad {
-			c.lq = append(c.lq, u)
+			c.lq.push(u)
 		}
 		if u.isStore {
-			c.sq = append(c.sq, u)
+			c.sq.push(u)
 		}
 		c.dispPtr = (c.dispPtr + 1) % len(c.rob)
 		c.dispCnt--
@@ -74,7 +74,7 @@ func (c *Core) srcsReady(u *uop) bool {
 // storePending reports whether the store with the given dynamic sequence
 // number is still in the store queue without having generated its address.
 func (c *Core) storePending(seq uint64) bool {
-	for _, s := range c.sq {
+	for _, s := range c.sq.live() {
 		if s.seq == seq {
 			return !s.executedMem
 		}
@@ -231,7 +231,7 @@ func (c *Core) issueLoad(u *uop) {
 	// Store-to-load forwarding against older stores with known addresses.
 	var fwd *uop
 	partial := false
-	for _, s := range c.sq {
+	for _, s := range c.sq.live() {
 		if s.seq >= u.seq {
 			break
 		}
@@ -270,7 +270,7 @@ func (c *Core) issueStore(u *uop) {
 	u.readyCycle = c.cycle + uint64(c.cfg.StoreLat)
 	c.ssets.StoreExecuted(u.storePC, u.seq)
 
-	for _, l := range c.lq {
+	for _, l := range c.lq.live() {
 		if l.seq > u.seq && l.executedMem && overlaps(l.ea, l.memSize, u.ea, u.memSize) {
 			c.ssets.Violation(l.dyn.PC, u.dyn.PC)
 			c.st.MemOrderFlushes++
@@ -398,17 +398,17 @@ func (c *Core) commit() {
 		}
 
 		if u.isStore {
-			if len(c.sq) == 0 || c.sq[0] != u {
+			if c.sq.len() == 0 || *c.sq.front() != u {
 				panic("pipeline: store commit out of order")
 			}
-			c.sq = c.sq[1:]
+			c.sq.popFront()
 			c.mem.L1D.Access(u.ea, c.cycle, true, false)
 		}
 		if u.isLoad {
-			if len(c.lq) == 0 || c.lq[0] != u {
+			if c.lq.len() == 0 || *c.lq.front() != u {
 				panic("pipeline: load commit out of order")
 			}
-			c.lq = c.lq[1:]
+			c.lq.popFront()
 		}
 
 		if u.kind == isa.UOpMain {

@@ -81,8 +81,8 @@ type Core struct {
 	uSeqCtr uint64
 
 	// Frontend state.
-	fetchQ          []fqEntry
-	decodeQ         []dqEntry
+	fetchQ          queue[fqEntry]
+	decodeQ         queue[dqEntry]
 	fetchStallUntil uint64
 	waitBranchSeq   uint64 // fetch stalled until this branch resolves (+1); 0 = none
 	curFetchLine    uint64
@@ -98,8 +98,8 @@ type Core struct {
 	dispPtr      int // ring index of the next µop to dispatch
 	dispCnt      int // µops renamed but not yet dispatched
 	iq           []*uop
-	lq           []*uop
-	sq           []*uop
+	lq           queue[*uop]
+	sq           queue[*uop]
 	execL        []*uop
 	intReadyAt   []uint64
 	fpReadyAt    []uint64
@@ -117,12 +117,21 @@ type Core struct {
 
 // New builds a core for the given machine over the given program.
 func New(cfg *config.Machine, p *prog.Program) *Core {
+	return NewFromEmulator(cfg, emu.New(p))
+}
+
+// NewFromEmulator builds a core over an existing emulator, which may be
+// mid-program — typically one restored from a warmup checkpoint
+// (emu.Snapshot.Restore), so several timing configurations can share a
+// single functional warmup. Sequence numbering continues from the
+// emulator's position.
+func NewFromEmulator(cfg *config.Machine, e *emu.Emulator) *Core {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
 	c := &Core{
 		cfg:    cfg,
-		stream: emu.NewStream(emu.New(p), 0),
+		stream: emu.NewStream(e, 0),
 	}
 	c.tage = bp.NewTAGE(bp.TAGEConfig{
 		BaseLog2:   cfg.BPBaseLog2,
@@ -158,8 +167,8 @@ func New(cfg *config.Machine, p *prog.Program) *Core {
 	}
 	c.rob = make([]uop, cfg.ROBSize)
 	c.iq = make([]*uop, 0, cfg.IQSize)
-	c.lq = make([]*uop, 0, cfg.LQSize)
-	c.sq = make([]*uop, 0, cfg.SQSize)
+	c.lq.buf = make([]*uop, 0, cfg.LQSize)
+	c.sq.buf = make([]*uop, 0, cfg.SQSize)
 	c.intReadyAt = make([]uint64, cfg.IntPRF)
 	c.fpReadyAt = make([]uint64, cfg.FPPRF)
 	c.predictedReg = make([]*uop, cfg.IntPRF)
@@ -253,7 +262,7 @@ func (c *Core) headState() string {
 // whether this is the first fetch of this dynamic instance (predictors
 // must only be queried and trained once per instance).
 func (c *Core) pred(seq uint64) (p *predInfo, fresh bool) {
-	p = &c.predRing[seq%uint64(len(c.predRing))]
+	p = &c.predRing[seq&(emu.DefaultStreamCapacity-1)]
 	if p.seqPlus1 != seq+1 {
 		*p = predInfo{seqPlus1: seq + 1}
 		return p, true

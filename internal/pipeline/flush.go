@@ -49,8 +49,8 @@ func (c *Core) flush(seq uint64, penalty uint64) {
 
 	// Filter the scheduler, memory queues and in-flight execution list.
 	c.iq = filterUops(c.iq, seq)
-	c.lq = filterUops(c.lq, seq)
-	c.sq = filterUops(c.sq, seq)
+	c.lq.filterLive(func(u *uop) bool { return u.seq < seq })
+	c.sq.filterLive(func(u *uop) bool { return u.seq < seq })
 	c.execL = filterUops(c.execL, seq)
 
 	// Rename recovery: restore committed mappings, then replay surviving
@@ -74,8 +74,8 @@ func (c *Core) flush(seq uint64, penalty uint64) {
 	}
 
 	// Frontend restart.
-	c.fetchQ = c.fetchQ[:0]
-	c.decodeQ = c.decodeQ[:0]
+	c.fetchQ.clear()
+	c.decodeQ.clear()
 	c.stream.Rewind(seq)
 	c.curFetchLine = ^uint64(0)
 	c.waitBranchSeq = 0

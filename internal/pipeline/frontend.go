@@ -16,7 +16,7 @@ func (c *Core) fetch() {
 	if c.haltSeen || c.cycle < c.fetchStallUntil || c.waitBranchSeq != 0 {
 		return
 	}
-	for fetched := 0; fetched < c.cfg.FetchWidth && len(c.fetchQ) < c.cfg.FetchQueue; fetched++ {
+	for fetched := 0; fetched < c.cfg.FetchWidth && c.fetchQ.len() < c.cfg.FetchQueue; fetched++ {
 		d := c.stream.Peek()
 		if d == nil {
 			c.haltSeen = true
@@ -47,7 +47,7 @@ func (c *Core) fetch() {
 		}
 
 		c.stream.Next()
-		c.fetchQ = append(c.fetchQ, fqEntry{dyn: d, fetchCycle: c.cycle})
+		c.fetchQ.push(fqEntry{dyn: d, fetchCycle: c.cycle})
 		c.st.FetchedInsts++
 
 		if isa.IsBranch(d.Inst.Op) {
@@ -136,20 +136,20 @@ func (c *Core) firstFetch(d *emu.DynInst, p *predInfo) {
 // cracking pre/post-index memory operations into two µops.
 func (c *Core) decode() {
 	const dqCap = 32
-	for n := 0; n < c.cfg.DecodeWidth && len(c.fetchQ) > 0; n++ {
-		e := c.fetchQ[0]
+	for n := 0; n < c.cfg.DecodeWidth && c.fetchQ.len() > 0; n++ {
+		e := *c.fetchQ.front()
 		if e.fetchCycle+uint64(c.cfg.FetchToDecode) > c.cycle {
 			break
 		}
 		cnt := isa.CrackCount(e.dyn.Inst)
-		if len(c.decodeQ)+cnt > dqCap {
+		if c.decodeQ.len()+cnt > dqCap {
 			break
 		}
-		c.fetchQ = c.fetchQ[1:]
+		c.fetchQ.popFront()
 		var tmpl [2]isa.UOpTemplate
 		uts := isa.Crack(e.dyn.Inst, tmpl[:0])
 		for i, t := range uts {
-			c.decodeQ = append(c.decodeQ, dqEntry{
+			c.decodeQ.push(dqEntry{
 				dyn:         e.dyn,
 				kind:        t.Kind,
 				class:       t.Class,
@@ -165,8 +165,8 @@ func (c *Core) decode() {
 // idiom elimination, SpSR, value prediction, or a fresh physical register,
 // in that priority order. Renamed µops enter the ROB.
 func (c *Core) renameStage() {
-	for n := 0; n < c.cfg.RenameWidth && len(c.decodeQ) > 0; n++ {
-		e := c.decodeQ[0]
+	for n := 0; n < c.cfg.RenameWidth && c.decodeQ.len() > 0; n++ {
+		e := *c.decodeQ.front()
 		if e.decodeCycle+uint64(c.cfg.DecodeToRename) > c.cycle {
 			break
 		}
@@ -179,7 +179,7 @@ func (c *Core) renameStage() {
 			c.st.PRFEmptyStalls++
 			break
 		}
-		c.decodeQ = c.decodeQ[1:]
+		c.decodeQ.popFront()
 		u := &c.rob[c.robTail]
 		c.robTail = (c.robTail + 1) % len(c.rob)
 		c.robCnt++

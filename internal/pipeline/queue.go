@@ -1,0 +1,55 @@
+package pipeline
+
+// queue is an allocation-free FIFO for the pipeline's bounded stage
+// queues (fetch queue, µop queue, load/store queues). Popping from the
+// front advances a head index instead of reslicing the buffer away —
+// reslicing (`q = q[1:]`) permanently abandons the popped slot, so every
+// later append reallocates once the backing array is consumed, which the
+// profile shows as the simulator's dominant allocation source. The dead
+// prefix is recycled when the queue drains and compacted once it grows
+// past a fixed threshold, so steady-state simulation performs no queue
+// allocations at all.
+type queue[T any] struct {
+	buf  []T
+	head int
+}
+
+// compactAt bounds the dead prefix. The live portion of every pipeline
+// queue is small (≤ ROB-scale), so compaction copies little and runs
+// rarely.
+const compactAt = 256
+
+func (q *queue[T]) len() int  { return len(q.buf) - q.head }
+func (q *queue[T]) front() *T { return &q.buf[q.head] }
+func (q *queue[T]) live() []T { return q.buf[q.head:] }
+func (q *queue[T]) push(v T)  { q.buf = append(q.buf, v) }
+
+func (q *queue[T]) popFront() {
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	} else if q.head >= compactAt {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+}
+
+func (q *queue[T]) clear() {
+	q.buf = q.buf[:0]
+	q.head = 0
+}
+
+// filterLive keeps only elements for which keep returns true, compacting
+// the queue to the front of its buffer (order preserved, no allocation).
+func (q *queue[T]) filterLive(keep func(T) bool) {
+	out := q.buf[:0]
+	for _, v := range q.buf[q.head:] {
+		if keep(v) {
+			out = append(out, v)
+		}
+	}
+	q.buf = out
+	q.head = 0
+}

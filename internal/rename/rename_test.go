@@ -9,10 +9,10 @@ import (
 
 func TestValueNameRoundTrip(t *testing.T) {
 	f := func(raw int16) bool {
-		v := int64(raw)
-		if v < -256 || v > 255 {
-			v = v % 257
-		}
+		// Map raw into ValueName's domain [-256, 255]. (A plain v%257
+		// leaves 256 fixed, which made this test flake.)
+		v := (int64(raw)+256)%512 + 512
+		v = v%512 - 256
 		n := ValueName(v)
 		return n.IsValue() && !n.IsPhys() && n.Value() == v && n.Known()
 	}

@@ -19,7 +19,10 @@ func tiny() Config {
 func TestFig1(t *testing.T) {
 	c := tiny()
 	c.Insts = 30000
-	vs := Fig1(c, 10)
+	vs, err := Fig1(c, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(vs) == 0 {
 		t.Fatal("no values collected")
 	}
@@ -39,7 +42,10 @@ func TestFig1(t *testing.T) {
 }
 
 func TestFig2(t *testing.T) {
-	rows, mu, hi := Fig2(tiny())
+	rows, mu, hi, err := Fig2(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 3 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -54,7 +60,10 @@ func TestFig2(t *testing.T) {
 }
 
 func TestFig3(t *testing.T) {
-	rows, sum := Fig3(tiny())
+	rows, sum, err := Fig3(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 3 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -80,7 +89,10 @@ func TestFig3(t *testing.T) {
 }
 
 func TestFig4(t *testing.T) {
-	rows, mean := Fig4(tiny(), config.TVP)
+	rows, mean, err := Fig4(tiny(), config.TVP)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 3 {
 		t.Fatal("rows")
 	}
@@ -91,7 +103,10 @@ func TestFig4(t *testing.T) {
 		t.Error("baseline DSR categories empty")
 	}
 	// MVP variant has no 9-bit idiom elimination.
-	_, meanMVP := Fig4(tiny(), config.MVP)
+	_, meanMVP, err := Fig4(tiny(), config.MVP)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if meanMVP.NineBit != 0 {
 		t.Errorf("MVP cannot 9-bit-eliminate (got %.3f%%)", meanMVP.NineBit)
 	}
@@ -103,7 +118,10 @@ func TestFig4(t *testing.T) {
 }
 
 func TestFig5(t *testing.T) {
-	rows, geo := Fig5(tiny())
+	rows, geo, err := Fig5(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 3 {
 		t.Fatal("rows")
 	}
@@ -121,7 +139,10 @@ func TestFig5(t *testing.T) {
 }
 
 func TestFig6(t *testing.T) {
-	rows := Fig6(tiny())
+	rows, err := Fig6(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 6 {
 		t.Fatalf("rows = %d, want 6 configurations", len(rows))
 	}
@@ -174,7 +195,10 @@ func TestStorageModel(t *testing.T) {
 func TestAblationSilencing(t *testing.T) {
 	c := tiny()
 	c.Workloads = []string{"600_perlbench_s_1"}
-	rows := AblationSilencing(c, []int{15, 250})
+	rows, err := AblationSilencing(c, []int{15, 250})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 2 {
 		t.Fatal("rows")
 	}
@@ -188,7 +212,10 @@ func TestAblationSilencing(t *testing.T) {
 func TestAblationPrefetch(t *testing.T) {
 	c := tiny()
 	c.Workloads = []string{"654_roms_s"}
-	rows := AblationPrefetch(c)
+	rows, err := AblationPrefetch(c)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 1 {
 		t.Fatal("rows")
 	}
@@ -199,10 +226,90 @@ func TestAblationPrefetch(t *testing.T) {
 	}
 }
 
+// TestCacheEquivalence is the memoization soundness check: a cached sweep
+// must produce bit-identical results to one that re-simulates every
+// point. Fig3 is used because it shares baseline runs across workloads
+// and flavors, so hits actually occur.
+func TestCacheEquivalence(t *testing.T) {
+	c := tiny()
+	c.Workloads = []string{"600_perlbench_s_1", "623_xalancbmk_s"}
+
+	ResetRunCache()
+	rows1, sum1, err := Fig3(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second pass is served from cache (same process-wide cache).
+	h0, _ := RunCacheCounters()
+	rows2, sum2, err := Fig3(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1, _ := RunCacheCounters(); h1 <= h0 {
+		t.Fatalf("second Fig3 pass produced no cache hits (%d -> %d)", h0, h1)
+	}
+
+	uncached := c
+	uncached.NoCache = true
+	rows3, sum3, err := Fig3(uncached)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range rows1 {
+		if rows1[i] != rows2[i] || rows1[i] != rows3[i] {
+			t.Errorf("row %d differs across cached/recached/uncached:\n%+v\n%+v\n%+v",
+				i, rows1[i], rows2[i], rows3[i])
+		}
+	}
+	if sum1 != sum2 || sum1 != sum3 {
+		t.Errorf("summaries differ: %+v / %+v / %+v", sum1, sum2, sum3)
+	}
+}
+
+// TestFastWarmup checks the checkpoint-resumed warmup path end to end: it
+// must run every workload without error and report plausible IPCs. (Its
+// numbers legitimately differ from the timed-warmup discipline, so no
+// equality is asserted — see Config.FastWarmup.)
+func TestFastWarmup(t *testing.T) {
+	c := tiny()
+	c.FastWarmup = true
+	rows, _, err := Fig3(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.BaseIPC <= 0 || r.BaseIPC > 8 {
+			t.Errorf("%s fast-warmup IPC %.3f implausible", r.Workload, r.BaseIPC)
+		}
+	}
+}
+
+func TestUnknownWorkloadError(t *testing.T) {
+	c := tiny()
+	c.Workloads = []string{"600_perlbench_s_1", "no_such_workload"}
+	_, _, _, err := Fig2(c)
+	if err == nil {
+		t.Fatal("Fig2 accepted an unknown workload")
+	}
+	if !strings.Contains(err.Error(), "no_such_workload") {
+		t.Errorf("error does not name the failing workload: %v", err)
+	}
+	if _, err := Fig1(c, 5); err == nil {
+		t.Fatal("Fig1 swallowed the unknown-workload error")
+	}
+}
+
 func TestTable3Smoke(t *testing.T) {
 	c := tiny()
 	c.Workloads = []string{"623_xalancbmk_s"}
-	rows := Table3(c)
+	rows, err := Table3(c)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 4 {
 		t.Fatal("rows")
 	}

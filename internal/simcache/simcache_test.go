@@ -1,0 +1,163 @@
+package simcache
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/config"
+)
+
+func TestHitMiss(t *testing.T) {
+	c := New[string, int]()
+	calls := 0
+	get := func() (int, error) { calls++; return 42, nil }
+
+	v, err := c.Do("k", get)
+	if err != nil || v != 42 {
+		t.Fatalf("first Do = %d, %v", v, err)
+	}
+	v, err = c.Do("k", get)
+	if err != nil || v != 42 {
+		t.Fatalf("second Do = %d, %v", v, err)
+	}
+	if calls != 1 {
+		t.Errorf("fn ran %d times, want 1", calls)
+	}
+	if hits, misses := c.Counters(); hits != 1 || misses != 1 {
+		t.Errorf("counters = %d hits / %d misses, want 1/1", hits, misses)
+	}
+	if v, ok := c.Get("k"); !ok || v != 42 {
+		t.Errorf("Get = %d, %v", v, ok)
+	}
+	if _, ok := c.Get("absent"); ok {
+		t.Error("Get on absent key reported ok")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d", c.Len())
+	}
+
+	c.Reset()
+	if c.Len() != 0 {
+		t.Error("Reset did not clear entries")
+	}
+	if hits, misses := c.Counters(); hits != 0 || misses != 0 {
+		t.Errorf("Reset did not clear counters: %d/%d", hits, misses)
+	}
+}
+
+func TestErrorsAreCached(t *testing.T) {
+	c := New[string, int]()
+	boom := errors.New("boom")
+	calls := 0
+	for i := 0; i < 3; i++ {
+		_, err := c.Do("k", func() (int, error) { calls++; return 0, boom })
+		if !errors.Is(err, boom) {
+			t.Fatalf("Do error = %v", err)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("failing fn ran %d times, want 1 (deterministic failures must not retry)", calls)
+	}
+}
+
+// TestSingleflight hammers one key from many goroutines: the loader must
+// run exactly once and every caller must observe its value.
+func TestSingleflight(t *testing.T) {
+	c := New[RunKey, uint64]()
+	key := RunKey{Workload: "w", ConfigFP: "fp", Warmup: 1, Insts: 2}
+	var calls atomic.Uint64
+	release := make(chan struct{})
+
+	const workers = 32
+	var wg sync.WaitGroup
+	results := make([]uint64, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.Do(key, func() (uint64, error) {
+				<-release // hold every other caller in the wait path
+				return calls.Add(1), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+
+	if calls.Load() != 1 {
+		t.Fatalf("loader ran %d times, want 1", calls.Load())
+	}
+	for i, v := range results {
+		if v != 1 {
+			t.Errorf("worker %d saw %d, want 1", i, v)
+		}
+	}
+	hits, misses := c.Counters()
+	if misses != 1 || hits != workers-1 {
+		t.Errorf("counters = %d hits / %d misses, want %d/1", hits, misses, workers-1)
+	}
+}
+
+func TestPanicDoesNotPoison(t *testing.T) {
+	c := New[string, int]()
+	func() {
+		defer func() { recover() }()
+		c.Do("k", func() (int, error) { panic("die") })
+	}()
+	// The key must be retryable after a panicking loader.
+	v, err := c.Do("k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("Do after panic = %d, %v", v, err)
+	}
+}
+
+// TestRunKeyFingerprintSensitivity checks that the machine-config
+// fingerprint separates configurations that differ anywhere — including
+// nested VP parameters — and is stable for equal configurations, so cache
+// keys never alias distinct simulation points.
+func TestRunKeyFingerprintSensitivity(t *testing.T) {
+	base := config.Default()
+	if base.Fingerprint() != config.Default().Fingerprint() {
+		t.Fatal("equal configs produced different fingerprints")
+	}
+
+	seen := map[string]string{base.Fingerprint(): "default"}
+	variants := map[string]*config.Machine{
+		"vp=tvp":   config.Default().WithVP(config.TVP),
+		"vp=gvp":   config.Default().WithVP(config.GVP),
+		"spsr":     config.Default().WithSpSR(true),
+		"tvp+spsr": config.Default().WithVP(config.TVP).WithSpSR(true),
+		"budget-1": config.Default().WithVPBudgetScale(-1),
+		"rob":      func() *config.Machine { m := config.Default(); m.ROBSize++; return m }(),
+		"silence":  func() *config.Machine { m := config.Default(); m.VP.SilenceCycles++; return m }(),
+		"nostride": func() *config.Machine { m := config.Default(); m.StridePrefetch = false; return m }(),
+		"l1dlat":   func() *config.Machine { m := config.Default(); m.L1D.LoadToUse++; return m }(),
+	}
+	for name, m := range variants {
+		fp := m.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("%s aliases %s", name, prev)
+		}
+		seen[fp] = name
+	}
+
+	// Distinct fingerprints mean distinct RunKeys, so both points coexist.
+	c := New[RunKey, int]()
+	k1 := RunKey{Workload: "w", ConfigFP: base.Fingerprint(), Warmup: 1, Insts: 2}
+	k2 := k1
+	k2.ConfigFP = variants["vp=tvp"].Fingerprint()
+	c.Do(k1, func() (int, error) { return 1, nil })
+	c.Do(k2, func() (int, error) { return 2, nil })
+	if v, _ := c.Get(k1); v != 1 {
+		t.Errorf("k1 = %d", v)
+	}
+	if v, _ := c.Get(k2); v != 2 {
+		t.Errorf("k2 = %d", v)
+	}
+}

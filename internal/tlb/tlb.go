@@ -40,9 +40,10 @@ func New(cfg config.TLBConfig) *TLB {
 		nsets = 1
 	}
 	t := &TLB{setMask: uint64(nsets - 1)}
+	backing := make([]entry, nsets*assoc)
 	t.sets = make([][]entry, nsets)
 	for i := range t.sets {
-		t.sets[i] = make([]entry, assoc)
+		t.sets[i] = backing[i*assoc : (i+1)*assoc : (i+1)*assoc]
 	}
 	return t
 }

@@ -104,11 +104,13 @@ func Run(o Options) (Result, error) {
 	p := o.Program
 	name := o.Workload
 	if p == nil {
-		spec, err := workload.Get(o.Workload)
+		// Programs are immutable once built, so the memoized build is
+		// shared freely across concurrent runs (see internal/workload).
+		var err error
+		p, err = workload.Program(o.Workload)
 		if err != nil {
 			return Result{}, err
 		}
-		p = spec.Build()
 	} else if name == "" {
 		name = p.Name
 	}
