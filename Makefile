@@ -1,15 +1,25 @@
 # Development gates for the TVP reproduction.
 #
-#   make check   # what CI runs: vet, build, race on the concurrency-
-#                # sensitive packages, then the full test suite
-#   make bench   # the E1–E14 benchmark sweep + simulator throughput
-#   make report  # regenerate the full EXPERIMENTS.md report
+#   make check        # what CI runs: vet, build, race on the concurrency-
+#                     # sensitive packages, full test suite, bench-guard
+#   make bench        # the E1–E14 benchmark sweep + simulator throughput
+#   make bench-guard  # fail if hot-path allocations regress past baseline
+#   make report       # regenerate the full EXPERIMENTS.md report
 
 GO ?= go
 
-.PHONY: check vet build test race bench report
+# Allocation ceiling for BenchmarkSimThroughput with telemetry detached
+# (allocs/op at -benchtime 30x). The recorded baseline is 280
+# (BENCH_PR1.json); the ceiling carries +5 headroom because the absolute
+# count drifts by ±1–2 across machines/Go patch releases, while any real
+# hot-path regression (a per-instruction or per-cycle allocation) blows
+# past it by thousands. The telemetry layer must stay nil-guarded off the
+# hot path, so this number must not grow.
+BENCH_GUARD_ALLOCS ?= 285
 
-check: vet build race test
+.PHONY: check vet build test race bench bench-guard report
+
+check: vet build race test bench-guard
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +37,18 @@ test:
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# Guard the simulator hot path: telemetry disabled must cost nothing, so
+# allocs/op of the throughput benchmark may not exceed the recorded
+# baseline (see BENCH_PR1.json / BENCH_PR2.json).
+bench-guard:
+	@out=$$($(GO) test -bench='^BenchmarkSimThroughput$$' -benchmem -benchtime 30x -run='^$$' . | tee /dev/stderr); \
+	allocs=$$(printf '%s\n' "$$out" | awk '$$1 ~ /^BenchmarkSimThroughput(-[0-9]+)?$$/ { for (i=1; i<NF; i++) if ($$(i+1) == "allocs/op") print $$i }'); \
+	if [ -z "$$allocs" ]; then echo "bench-guard: could not parse allocs/op" >&2; exit 1; fi; \
+	if [ "$$allocs" -gt "$(BENCH_GUARD_ALLOCS)" ]; then \
+		echo "bench-guard: FAIL — $$allocs allocs/op exceeds baseline $(BENCH_GUARD_ALLOCS)" >&2; exit 1; \
+	fi; \
+	echo "bench-guard: OK — $$allocs allocs/op (ceiling $(BENCH_GUARD_ALLOCS))"
 
 report:
 	$(GO) run ./cmd/tvpreport -cachestats

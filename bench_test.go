@@ -19,7 +19,10 @@ import (
 	"testing"
 
 	"repro/internal/config"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
 	"repro/internal/report"
+	"repro/internal/workload"
 )
 
 // benchConfig keeps the full sweep affordable under `go test -bench`.
@@ -240,6 +243,26 @@ func BenchmarkSimThroughput(b *testing.B) {
 // benchmark, kept so BENCH_*.json series remain comparable.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	BenchmarkSimThroughput(b)
+}
+
+// BenchmarkSimThroughputTelemetry is BenchmarkSimThroughput with the full
+// telemetry layer attached (interval sampler at the default period plus
+// the three attribution tables), quantifying the observation overhead
+// that BENCH_PR2.json reports against the telemetry-off baseline.
+func BenchmarkSimThroughputTelemetry(b *testing.B) {
+	b.ReportAllocs()
+	p, err := workload.Program("648_exchange2_s")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		core := pipeline.New(config.Default(), p)
+		core.SetProbe(obs.New(obs.Config{}))
+		res := core.Run(0, 100_000)
+		insts += res.Committed
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds()/1e6, "MIPS")
 }
 
 // BenchmarkSimulatorThroughputVP measures simulation speed with the full

@@ -15,6 +15,7 @@
 //	tvpreport -ablation silencing|prefetch
 //	tvpreport -insts 250000 -warmup 50000
 //	tvpreport -nocache        # re-simulate every point (cache bypass)
+//	tvpreport -json out/      # also write machine-readable run records
 //	tvpreport -cpuprofile report.pprof -fig 3
 package main
 
@@ -26,6 +27,7 @@ import (
 	"runtime/pprof"
 
 	"repro/internal/config"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -40,6 +42,8 @@ func main() {
 		nocache    = flag.Bool("nocache", false, "bypass the run memoization cache")
 		fastwarm   = flag.Bool("fastwarmup", false, "resume runs from a shared functional warmup checkpoint (cold microarch state; see README)")
 		cacheStats = flag.Bool("cachestats", false, "print run-cache hit/miss counters on exit")
+		jsonDir    = flag.String("json", "", "write machine-readable run records (one JSON file per point + sweep.json) into this directory")
+		progress   = flag.Bool("progress", true, "print a live sweep heartbeat to stderr (runs done/total, cache recalls, MIPS, ETA)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -70,6 +74,12 @@ func main() {
 	}
 
 	cfg := report.Config{Warmup: *warm, Insts: *insts, NoCache: *nocache, FastWarmup: *fastwarm}
+	if *progress {
+		cfg.Heartbeat = obs.NewHeartbeat(os.Stderr)
+	}
+	if *jsonDir != "" {
+		cfg.Obs = obs.NewSweepLog()
+	}
 	w := os.Stdout
 	all := *fig == 0 && *table == 0 && !*storage && *ablation == ""
 
@@ -184,6 +194,15 @@ func main() {
 		fmt.Fprintln(w)
 	}
 
+	if cfg.Heartbeat != nil {
+		cfg.Heartbeat.Finish()
+	}
+	if cfg.Obs != nil {
+		hits, misses := report.RunCacheCounters()
+		if err := cfg.Obs.WriteDir(*jsonDir, hits, misses); err != nil {
+			fatal(err)
+		}
+	}
 	if *cacheStats {
 		hits, misses := report.RunCacheCounters()
 		fmt.Fprintf(os.Stderr, "run cache: %d hits, %d misses (%d unique points)\n", hits, misses, misses)

@@ -7,10 +7,13 @@
 //
 //	tvpsim -workload 602_gcc_s_1 -vp tvp -spsr -insts 300000
 //	tvpsim -all -vp gvp
+//	tvpsim -workload 602_gcc_s_1 -vp tvp -json > run.ndjson
+//	tvpsim -workload 602_gcc_s_1 -konata trace.log
 //	tvpsim -list
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -21,6 +24,7 @@ import (
 
 	tvp "repro"
 	"repro/internal/config"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/workload"
 )
@@ -103,6 +107,61 @@ func pow(x, y float64) float64 {
 	return math.Pow(x, y)
 }
 
+// runInstrumented simulates the named workloads serially with telemetry
+// attached: interval sampling and per-PC attribution always; a Kanata
+// trace when konataPath is non-empty. With jsonOut it writes one
+// obs.RunRecord per workload as NDJSON on stdout; otherwise it prints
+// the usual human table rows. Returns the number of failed runs.
+func runInstrumented(names []string, mode tvp.VPMode, spsr bool, warm, insts uint64, interval uint64, topk int, jsonOut bool, konataPath string) int {
+	cfg := config.Default().WithVP(mode).WithSpSR(spsr)
+	enc := json.NewEncoder(os.Stdout)
+	if !jsonOut {
+		printHeader()
+	}
+	nerr := 0
+	for _, n := range names {
+		spec, err := workload.Get(n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tvpsim:", err)
+			nerr++
+			continue
+		}
+		core := pipeline.New(cfg, spec.Build())
+		tel := obs.New(obs.Config{Interval: interval, TopK: topk})
+		core.SetProbe(tel)
+		var konata *obs.Konata
+		if konataPath != "" {
+			f, err := os.Create(konataPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tvpsim:", err)
+				return nerr + 1
+			}
+			defer f.Close()
+			konata = obs.NewKonata(f, 0)
+			core.SetTracer(konata)
+		}
+		res := core.Run(warm, insts)
+		if konata != nil {
+			if err := konata.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "tvpsim:", err)
+				nerr++
+			}
+		}
+		rec := tel.Record(obs.RunMeta{
+			Workload: n, Cfg: cfg, Warmup: warm, Insts: insts,
+		}, res.Stats)
+		if jsonOut {
+			if err := enc.Encode(rec); err != nil {
+				fmt.Fprintln(os.Stderr, "tvpsim:", err)
+				nerr++
+			}
+		} else {
+			printRow(n, &res.Stats)
+		}
+	}
+	return nerr
+}
+
 // runPipetrace attaches a pipeline-view tracer and simulates just far
 // enough to print the first n committed µops.
 func runPipetrace(name string, mode tvp.VPMode, spsr bool, n int) {
@@ -128,6 +187,10 @@ func main() {
 		insts   = flag.Uint64("insts", 300_000, "measured instructions")
 		compare = flag.Bool("compare", false, "run baseline+MVP+TVP+GVP and print speedups")
 		ptrace  = flag.Int("pipetrace", 0, "print an O3-pipeview-style trace of the first N committed µops")
+		jsonOut = flag.Bool("json", false, "emit one machine-readable obs.RunRecord per workload as NDJSON on stdout")
+		konata  = flag.String("konata", "", "write a Kanata (Konata viewer) pipeline trace to this file (single workload)")
+		intervl = flag.Uint64("interval", obs.DefaultInterval, "telemetry sampling interval in committed instructions (-json/-konata)")
+		topk    = flag.Int("topk", obs.DefaultTopK, "entries per per-PC attribution table in -json records")
 		cpuprof = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -171,6 +234,10 @@ func main() {
 	}
 
 	if *compare {
+		if *jsonOut || *konata != "" {
+			fmt.Fprintln(os.Stderr, "tvpsim: -json/-konata cannot be combined with -compare")
+			os.Exit(2)
+		}
 		names := tvp.Benchmarks()
 		if !*all && *wl != "" {
 			names = []string{*wl}
@@ -210,24 +277,42 @@ func main() {
 		return
 	}
 
+	if *jsonOut || *konata != "" {
+		if *konata != "" && len(names) != 1 {
+			fmt.Fprintln(os.Stderr, "tvpsim: -konata needs a single -workload")
+			os.Exit(2)
+		}
+		if runInstrumented(names, mode, *spsr, *warm, *insts, *intervl, *topk, *jsonOut, *konata) > 0 {
+			exitCode = 1
+		}
+		return
+	}
+
 	opts := make([]tvp.Options, len(names))
 	for i, n := range names {
 		opts[i] = tvp.Options{Workload: n, VP: mode, SpSR: *spsr, Warmup: *warm, MaxInsts: *insts}
 	}
 	results, errs := tvp.RunMany(opts)
 
-	fmt.Printf("%-22s %8s %8s %7s %7s %7s %7s %8s %8s\n",
-		"workload", "IPC", "uops/in", "MPKI", "L1DMPKI", "VPcov%", "VPacc%", "elim%", "spsr%")
+	printHeader()
 	for i, r := range results {
 		if errs[i] != nil {
 			fmt.Printf("%-22s error: %v\n", names[i], errs[i])
 			exitCode = 1
 			continue
 		}
-		st := &r.Stats
-		elim := st.ElimFraction(st.ZeroIdiomElim+st.OneIdiomElim+st.MoveElim+st.NineBitElim) * 100
-		fmt.Printf("%-22s %8.3f %8.3f %7.2f %7.2f %7.2f %7.3f %8.3f %8.3f\n",
-			r.Workload, st.IPC(), st.UopsPerInst(), st.BranchMPKI(), st.L1DMPKI(),
-			100*st.VPCoverage(), 100*st.VPAccuracy(), elim, 100*st.ElimFraction(st.SpSRElim))
+		printRow(r.Workload, &r.Stats)
 	}
+}
+
+func printHeader() {
+	fmt.Printf("%-22s %8s %8s %7s %7s %7s %7s %8s %8s\n",
+		"workload", "IPC", "uops/in", "MPKI", "L1DMPKI", "VPcov%", "VPacc%", "elim%", "spsr%")
+}
+
+func printRow(name string, st *tvp.Stats) {
+	elim := st.ElimFraction(st.ZeroIdiomElim+st.OneIdiomElim+st.MoveElim+st.NineBitElim) * 100
+	fmt.Printf("%-22s %8.3f %8.3f %7.2f %7.2f %7.2f %7.3f %8.3f %8.3f\n",
+		name, st.IPC(), st.UopsPerInst(), st.BranchMPKI(), st.L1DMPKI(),
+		100*st.VPCoverage(), 100*st.VPAccuracy(), elim, 100*st.ElimFraction(st.SpSRElim))
 }

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Heartbeat prints a throttled one-line progress report for long sweeps:
+// runs done/planned, how many the memoization cache absorbed, realized
+// simulation MIPS and an ETA extrapolated from per-run wall time. It is
+// concurrency-safe; tvpreport's worker pool reports into one Heartbeat.
+type Heartbeat struct {
+	mu        sync.Mutex
+	w         io.Writer
+	start     time.Time
+	lastPrint time.Time
+	period    time.Duration
+	planned   int
+	done      int
+	cached    int
+	simInsts  uint64
+}
+
+// NewHeartbeat returns a Heartbeat writing to w (normally os.Stderr so
+// progress never pollutes machine-readable stdout), printing at most
+// once per second.
+func NewHeartbeat(w io.Writer) *Heartbeat {
+	return &Heartbeat{w: w, start: time.Now(), period: time.Second}
+}
+
+// AddPlanned grows the denominator before (or while) runs execute.
+func (h *Heartbeat) AddPlanned(n int) {
+	h.mu.Lock()
+	h.planned += n
+	h.mu.Unlock()
+}
+
+// RunDone records one finished run. simInsts is how many instructions
+// were actually simulated for it (0 for a cache recall); cached marks a
+// memoized point. A line is printed if the throttle period has elapsed.
+func (h *Heartbeat) RunDone(simInsts uint64, cached bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.done++
+	h.simInsts += simInsts
+	if cached {
+		h.cached++
+	}
+	if now := time.Now(); now.Sub(h.lastPrint) >= h.period {
+		h.print(now)
+	}
+}
+
+// Finish prints a final unconditional line (total wall time, no ETA).
+func (h *Heartbeat) Finish() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.print(time.Now())
+}
+
+// print assumes h.mu is held.
+func (h *Heartbeat) print(now time.Time) {
+	h.lastPrint = now
+	elapsed := now.Sub(h.start)
+	mips := 0.0
+	if s := elapsed.Seconds(); s > 0 {
+		mips = float64(h.simInsts) / s / 1e6
+	}
+	line := fmt.Sprintf("obs: %d/%d runs (%d cached) | %.1f MIPS | %.1fs elapsed",
+		h.done, h.planned, h.cached, mips, elapsed.Seconds())
+	if h.done > 0 && h.done < h.planned {
+		eta := time.Duration(float64(elapsed) / float64(h.done) * float64(h.planned-h.done))
+		line += fmt.Sprintf(" | eta %ds", int(eta.Seconds()+0.5))
+	}
+	fmt.Fprintln(h.w, line)
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+)
+
+// TestTelemetryPureObservation is the zero-interference guarantee:
+// attaching a Telemetry probe must not change a single counter, cycle or
+// committed-instruction count of a run.
+func TestTelemetryPureObservation(t *testing.T) {
+	cfg := config.Default().WithVP(config.TVP).WithSpSR(true)
+	const warmup, insts = 2_000, 30_000
+
+	bare := pipeline.New(cfg, traceProgram(8_000)).Run(warmup, insts)
+
+	probed := pipeline.New(cfg, traceProgram(8_000))
+	tel := New(Config{Interval: 5_000})
+	probed.SetProbe(tel)
+	res := probed.Run(warmup, insts)
+
+	if !reflect.DeepEqual(bare.Stats, res.Stats) {
+		t.Errorf("stats differ with probe attached:\nbare:   %+v\nprobed: %+v", bare.Stats, res.Stats)
+	}
+	if bare.Cycles != res.Cycles || bare.Committed != res.Committed {
+		t.Errorf("timing differs with probe: cycles %d vs %d, committed %d vs %d",
+			bare.Cycles, res.Cycles, bare.Committed, res.Committed)
+	}
+}
+
+// TestTelemetryIntervalCoverage checks the acceptance rule: at least one
+// interval sample per sampling period of post-warmup execution, and the
+// interval deltas add back up to the run totals.
+func TestTelemetryIntervalCoverage(t *testing.T) {
+	cfg := config.Default()
+	const warmup, insts, every = 2_000, 30_000, 5_000
+
+	core := pipeline.New(cfg, traceProgram(8_000))
+	tel := New(Config{Interval: every})
+	core.SetProbe(tel)
+	res := core.Run(warmup, insts)
+
+	samples := tel.Samples()
+	if want := int(insts / every); len(samples) < want {
+		t.Fatalf("got %d interval samples, want >= %d", len(samples), want)
+	}
+	var sum stats.Sim
+	sumv := reflect.ValueOf(&sum).Elem()
+	for _, sm := range samples {
+		dv := reflect.ValueOf(sm.Delta)
+		for i := 0; i < dv.NumField(); i++ {
+			sumv.Field(i).SetUint(sumv.Field(i).Uint() + dv.Field(i).Uint())
+		}
+	}
+	if !reflect.DeepEqual(sum, res.Stats) {
+		t.Errorf("interval deltas do not sum to totals:\nsum:    %+v\ntotals: %+v", sum, res.Stats)
+	}
+	for i, sm := range samples {
+		if sm.EndInst <= sm.StartInst {
+			t.Errorf("sample %d: empty interval [%d,%d)", i, sm.StartInst, sm.EndInst)
+		}
+		if i > 0 && sm.StartInst != samples[i-1].EndInst {
+			t.Errorf("sample %d: gap after %d, starts at %d", i, samples[i-1].EndInst, sm.StartInst)
+		}
+	}
+	if samples[0].StartInst != warmup {
+		t.Errorf("series starts at %d, want warmup boundary %d", samples[0].StartInst, warmup)
+	}
+}
+
+// TestTelemetryAttributionMatchesCounters ties the attribution tables to
+// the post-warmup counter totals on a real run.
+func TestTelemetryAttributionMatchesCounters(t *testing.T) {
+	cfg := config.Default()
+	core := pipeline.New(cfg, traceProgram(8_000))
+	tel := New(Config{Interval: 10_000})
+	core.SetProbe(tel)
+	res := core.Run(1_000, 25_000)
+
+	rec := tel.Record(RunMeta{Workload: "trace", Cfg: cfg, Warmup: 1_000, Insts: 25_000}, res.Stats)
+	sumTable := func(es []PCCount) (n uint64) {
+		for _, e := range es {
+			n += e.Count
+		}
+		return
+	}
+	st := res.Stats
+	if got, want := sumTable(rec.Attribution.BranchMispredicts), st.BranchMispredicts+st.RASMispreds+st.IndirectMispreds; got != want {
+		t.Errorf("branch mispredict attribution %d, counters %d", got, want)
+	}
+	if got, want := sumTable(rec.Attribution.L1DMisses), st.L1DMisses; got != want {
+		t.Errorf("L1D miss attribution %d, counter %d", got, want)
+	}
+	if got, want := sumTable(rec.Attribution.VPFlushes), st.VPFlushes; got != want {
+		t.Errorf("VP flush attribution %d, counter %d", got, want)
+	}
+	for _, e := range rec.Attribution.L1DMisses {
+		if e.Disasm == "" {
+			t.Errorf("L1D entry %#x missing disassembly", e.PC)
+		}
+	}
+}

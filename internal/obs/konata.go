@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/pipeline"
+)
+
+// Konata writes the pipeline trace in the Kanata log format (version
+// 0004) consumed by the Konata pipeline viewer and gem5's O3 pipeview
+// tooling. It implements pipeline.Tracer as a machine-readable sibling
+// of pipeline.Pipeview.
+//
+// Stage lanes: Rn (rename), Ds (dispatch), Is (issue), Cm (complete →
+// commit window). Rename-eliminated µops show only Rn with a hover note,
+// matching the simulator's semantics: they never occupy the backend.
+// Squashed µops are retired with the flush type; their re-execution
+// opens a fresh Konata instruction with the same instruction id, which
+// the viewer renders as a replay.
+type Konata struct {
+	// Limit caps how many µops are opened in the log (0 = no cap).
+	Limit int
+
+	w         *bufio.Writer
+	headered  bool
+	lastCycle uint64
+	nextID    uint64
+	retireID  uint64
+	opened    uint64
+	live      map[uint64]*kUop // keyed by seq<<1|uopIx
+}
+
+type kUop struct {
+	id    uint64
+	stage string // currently open stage, "" if none
+}
+
+// NewKonata returns a tracer writing Kanata 0004 to w. Call Close when
+// the run finishes to flush buffered output.
+func NewKonata(w io.Writer, limit int) *Konata {
+	return &Konata{Limit: limit, w: bufio.NewWriter(w), live: map[uint64]*kUop{}}
+}
+
+// stage lane names per trace stage; "" means the stage does not open a
+// Konata lane segment (fetch never fires; commit/squash close the µop).
+var kStages = [pipeline.StageSquash + 1]string{
+	pipeline.StageRename:   "Rn",
+	pipeline.StageDispatch: "Ds",
+	pipeline.StageIssue:    "Is",
+	pipeline.StageComplete: "Cm",
+}
+
+// Event implements pipeline.Tracer.
+func (k *Konata) Event(ev pipeline.TraceEvent) {
+	key := ev.Seq<<1 | uint64(ev.UopIx)
+	u := k.live[key]
+
+	if ev.Stage == pipeline.StageRename {
+		// A rename event always opens a fresh Konata instruction: either
+		// the µop's first appearance or its replay after a squash.
+		if u != nil {
+			k.close(ev.Cycle, key, u, 1)
+		}
+		if k.Limit > 0 && k.opened >= uint64(k.Limit) {
+			return
+		}
+		k.advance(ev.Cycle)
+		u = &kUop{id: k.nextID}
+		k.nextID++
+		k.opened++
+		k.live[key] = u
+		fmt.Fprintf(k.w, "I\t%d\t%d\t0\n", u.id, ev.Seq)
+		label := fmt.Sprintf("%#x %s", ev.PC, ev.Inst.String())
+		if ev.UopIx != 0 {
+			label += " (base-update µop)"
+		}
+		fmt.Fprintf(k.w, "L\t%d\t0\t%s\n", u.id, label)
+		if ev.Eliminated {
+			fmt.Fprintf(k.w, "L\t%d\t1\teliminated at rename (completed without backend)\n", u.id)
+		}
+		k.enter(u, "Rn")
+		return
+	}
+	if u == nil {
+		return // µop predates the log or fell past Limit
+	}
+	k.advance(ev.Cycle)
+	switch ev.Stage {
+	case pipeline.StageCommit:
+		k.close(ev.Cycle, key, u, 0)
+	case pipeline.StageSquash:
+		k.close(ev.Cycle, key, u, 1)
+	default:
+		if s := kStages[ev.Stage]; s != "" {
+			k.enter(u, s)
+		}
+	}
+}
+
+// advance emits the header and cycle commands needed so subsequent
+// stage commands land on cycle.
+func (k *Konata) advance(cycle uint64) {
+	if !k.headered {
+		k.headered = true
+		k.lastCycle = cycle
+		fmt.Fprintf(k.w, "Kanata\t0004\n")
+		fmt.Fprintf(k.w, "C=\t%d\n", cycle)
+		return
+	}
+	if cycle > k.lastCycle {
+		fmt.Fprintf(k.w, "C\t%d\n", cycle-k.lastCycle)
+		k.lastCycle = cycle
+	}
+}
+
+// enter transitions u into stage, ending the previously open one.
+func (k *Konata) enter(u *kUop, stage string) {
+	if u.stage == stage {
+		return
+	}
+	if u.stage != "" {
+		fmt.Fprintf(k.w, "E\t%d\t0\t%s\n", u.id, u.stage)
+	}
+	u.stage = stage
+	fmt.Fprintf(k.w, "S\t%d\t0\t%s\n", u.id, stage)
+}
+
+// close ends u's open stage and retires it (retireType 0 = commit,
+// 1 = squash/flush).
+func (k *Konata) close(cycle uint64, key uint64, u *kUop, retireType int) {
+	k.advance(cycle)
+	if u.stage != "" {
+		fmt.Fprintf(k.w, "E\t%d\t0\t%s\n", u.id, u.stage)
+		u.stage = ""
+	}
+	fmt.Fprintf(k.w, "R\t%d\t%d\t%d\n", u.id, k.retireID, retireType)
+	k.retireID++
+	delete(k.live, key)
+}
+
+// Close retires any µops still in flight (as flushed: the run ended
+// before they committed) and flushes the buffer. In-flight µops are
+// retired in Konata-id order so output is deterministic.
+func (k *Konata) Close() error {
+	keys := make([]uint64, 0, len(k.live))
+	for key := range k.live {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return k.live[keys[i]].id < k.live[keys[j]].id })
+	for _, key := range keys {
+		k.close(k.lastCycle, key, k.live[key], 1)
+	}
+	return k.w.Flush()
+}

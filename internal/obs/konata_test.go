@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+	"repro/internal/prog"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// traceProgram is a small deterministic kernel exercising loads, stores,
+// ALU ops, an eliminable zero idiom and a loop branch — enough to put
+// committed, eliminated and squashed µops into the trace.
+func traceProgram(iters int64) *prog.Program {
+	b := prog.NewBuilder("konata-loop")
+	buf := b.Alloc(4096, 8)
+
+	b.MovImm(isa.X0, uint64(iters))
+	b.MovAddr(isa.X1, buf)
+	b.Zero(isa.X2)
+	b.Zero(isa.X3)
+
+	top := b.Here()
+	b.LdrR(isa.X4, isa.X1, isa.X3, 3, 8)
+	b.Add(isa.X2, isa.X2, isa.X4)
+	b.StrR(isa.X2, isa.X1, isa.X3, 3, 8)
+	b.AddI(isa.X3, isa.X3, 1)
+	b.AndI(isa.X3, isa.X3, 7)
+	b.SubsI(isa.X0, isa.X0, 1)
+	b.BCond(isa.NE, top)
+	b.Halt()
+	return b.Build()
+}
+
+// runKonata simulates the trace program with a Konata tracer attached
+// and returns the log.
+func runKonata(t *testing.T, limit int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	k := NewKonata(&buf, limit)
+	core := pipeline.New(config.Default(), traceProgram(40))
+	core.SetTracer(k)
+	core.Run(0, 1<<62)
+	if err := k.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestKonataGolden locks the exact Kanata output for a short
+// deterministic workload (regenerate with `go test ./internal/obs
+// -run Golden -update`).
+func TestKonataGolden(t *testing.T) {
+	got := runKonata(t, 64)
+	golden := filepath.Join("testdata", "konata_loop.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("Kanata output differs from golden (%d vs %d bytes); rerun with -update if the change is intended",
+			len(got), len(want))
+	}
+}
+
+// TestKonataFormatInvariants checks the structural rules any Kanata
+// consumer relies on: version header first, a cycle origin before stage
+// commands, every opened instruction retired exactly once, and
+// stage starts/ends balanced per instruction.
+func TestKonataFormatInvariants(t *testing.T) {
+	out := string(runKonata(t, 0))
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Kanata\t0004" {
+		t.Fatalf("first line %q, want Kanata\\t0004", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "C=\t") {
+		t.Fatalf("second line %q, want cycle origin C=", lines[1])
+	}
+	opened := map[string]bool{}
+	retired := map[string]int{}
+	open := map[string]string{} // id -> open stage
+	for i, ln := range lines[2:] {
+		f := strings.Split(ln, "\t")
+		switch f[0] {
+		case "C":
+			if len(f) != 2 {
+				t.Fatalf("line %d: malformed cycle step %q", i+3, ln)
+			}
+		case "I":
+			if opened[f[1]] {
+				t.Fatalf("line %d: instruction id %s opened twice", i+3, f[1])
+			}
+			opened[f[1]] = true
+		case "L":
+			if !opened[f[1]] {
+				t.Fatalf("line %d: label for unopened id %s", i+3, f[1])
+			}
+		case "S":
+			if open[f[1]] != "" {
+				t.Fatalf("line %d: id %s starts stage %s with %s still open", i+3, f[1], f[3], open[f[1]])
+			}
+			open[f[1]] = f[3]
+		case "E":
+			if open[f[1]] != f[3] {
+				t.Fatalf("line %d: id %s ends stage %s but %q is open", i+3, f[1], f[3], open[f[1]])
+			}
+			open[f[1]] = ""
+		case "R":
+			retired[f[1]]++
+			if open[f[1]] != "" {
+				t.Fatalf("line %d: id %s retired with stage %s open", i+3, f[1], open[f[1]])
+			}
+		default:
+			t.Fatalf("line %d: unknown command %q", i+3, ln)
+		}
+	}
+	if len(opened) == 0 {
+		t.Fatal("no instructions in trace")
+	}
+	for id := range opened {
+		if retired[id] != 1 {
+			t.Errorf("id %s retired %d times, want exactly 1", id, retired[id])
+		}
+	}
+}
+
+// TestKonataLimit caps the number of µops admitted to the log.
+func TestKonataLimit(t *testing.T) {
+	out := string(runKonata(t, 10))
+	n := 0
+	for _, ln := range strings.Split(out, "\n") {
+		if strings.HasPrefix(ln, "I\t") {
+			n++
+		}
+	}
+	if n != 10 {
+		t.Errorf("opened %d µops, want 10", n)
+	}
+}

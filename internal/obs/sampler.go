@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"repro/internal/stats"
+)
+
+// Sample is one interval of a run's counter time series. Delta holds the
+// raw counter differences over [StartInst, EndInst); the float fields are
+// the derived per-interval metrics the paper's figures are built from,
+// precomputed so a record can be plotted without re-deriving them.
+type Sample struct {
+	// StartInst/EndInst bound the interval in run-absolute committed
+	// architectural instructions (warmup included in the coordinate, so
+	// interval boundaries line up across configurations). Because commit
+	// retires up to CommitWidth instructions per cycle, EndInst can
+	// overshoot the exact interval multiple by a few instructions.
+	StartInst uint64 `json:"start_inst"`
+	EndInst   uint64 `json:"end_inst"`
+	// StartCycle/EndCycle bound the interval in simulated cycles.
+	StartCycle uint64 `json:"start_cycle"`
+	EndCycle   uint64 `json:"end_cycle"`
+	// Partial marks a tail interval shorter than the sampling period.
+	Partial bool `json:"partial,omitempty"`
+
+	IPC        float64 `json:"ipc"`
+	BranchMPKI float64 `json:"branch_mpki"`
+	L1DMPKI    float64 `json:"l1d_mpki"`
+	L2MPKI     float64 `json:"l2_mpki"`
+	VPCoverage float64 `json:"vp_coverage"`
+	VPAccuracy float64 `json:"vp_accuracy"`
+	VPFlushPKI float64 `json:"vp_flush_pki"`
+	// ElimPct is the percent of committed instructions removed at rename
+	// by the baseline DSR categories plus the 9-bit idiom; SpSRPct is the
+	// SpSR share on its own.
+	ElimPct float64 `json:"elim_pct"`
+	SpSRPct float64 `json:"spsr_pct"`
+
+	// Delta holds every counter accumulated in this interval.
+	Delta stats.Sim `json:"delta"`
+}
+
+// Sampler builds the interval time series from the snapshot stream the
+// pipeline's Probe seam delivers: a baseline snapshot at measurement
+// start, one snapshot per interval boundary, and a final snapshot at run
+// end (which becomes a Partial tail sample unless it lands exactly on a
+// boundary). It is not safe for concurrent use; each run owns one.
+type Sampler struct {
+	// Every is the sampling period in committed instructions.
+	Every uint64
+
+	primed    bool
+	last      stats.Sim
+	lastInst  uint64
+	lastCycle uint64
+	samples   []Sample
+}
+
+// NewSampler returns a sampler with the given period (0 or negative
+// values fall back to DefaultInterval).
+func NewSampler(every uint64) *Sampler {
+	if every == 0 {
+		every = DefaultInterval
+	}
+	return &Sampler{Every: every}
+}
+
+// Observe consumes one snapshot of the live counters. The first call
+// primes the baseline (measurement start); each later call closes the
+// interval since the previous snapshot. Zero-length observations (two
+// snapshots at the same committed count, e.g. a tail snapshot landing on
+// an interval boundary) are dropped.
+func (s *Sampler) Observe(committed, cycle uint64, st *stats.Sim) {
+	if !s.primed {
+		s.primed = true
+		s.last = *st
+		s.lastInst = committed
+		s.lastCycle = cycle
+		return
+	}
+	if committed == s.lastInst {
+		return
+	}
+	delta := stats.Sub(st, &s.last)
+	s.samples = append(s.samples, makeSample(s.lastInst, committed, s.lastCycle, cycle, delta, s.Every))
+	s.last = *st
+	s.lastInst = committed
+	s.lastCycle = cycle
+}
+
+// Samples returns the accumulated series (shared slice; callers must not
+// append).
+func (s *Sampler) Samples() []Sample { return s.samples }
+
+// makeSample derives the per-interval metrics from a counter delta.
+func makeSample(startInst, endInst, startCycle, endCycle uint64, delta stats.Sim, every uint64) Sample {
+	sm := Sample{
+		StartInst:  startInst,
+		EndInst:    endInst,
+		StartCycle: startCycle,
+		EndCycle:   endCycle,
+		Partial:    endInst-startInst < every,
+		IPC:        delta.IPC(),
+		BranchMPKI: delta.BranchMPKI(),
+		L1DMPKI:    delta.L1DMPKI(),
+		VPCoverage: delta.VPCoverage(),
+		VPAccuracy: delta.VPAccuracy(),
+		ElimPct:    100 * delta.ElimFraction(delta.ZeroIdiomElim+delta.OneIdiomElim+delta.MoveElim+delta.NineBitElim),
+		SpSRPct:    100 * delta.ElimFraction(delta.SpSRElim),
+		Delta:      delta,
+	}
+	if delta.ArchInsts > 0 {
+		sm.L2MPKI = 1000 * float64(delta.L2Misses) / float64(delta.ArchInsts)
+		sm.VPFlushPKI = 1000 * float64(delta.VPFlushes) / float64(delta.ArchInsts)
+	}
+	return sm
+}

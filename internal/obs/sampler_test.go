@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// snap builds a counter block with the given committed-instruction and
+// cycle totals (the fields the derived interval metrics divide by).
+func snap(insts, cycles, brMiss, squashed uint64) stats.Sim {
+	return stats.Sim{ArchInsts: insts, Cycles: cycles, BranchMispredicts: brMiss, SquashedUOps: squashed}
+}
+
+func TestSamplerWarmupBoundaryExcluded(t *testing.T) {
+	s := NewSampler(100_000)
+	// Baseline primed at the warmup boundary: counters accumulated before
+	// it must not leak into the first interval.
+	warm := snap(50_000, 20_000, 500, 0)
+	s.Observe(50_000, 20_000, &warm)
+	end := snap(150_000, 60_000, 800, 0)
+	s.Observe(150_000, 60_000, &end)
+
+	samples := s.Samples()
+	if len(samples) != 1 {
+		t.Fatalf("got %d samples, want 1", len(samples))
+	}
+	sm := samples[0]
+	if sm.StartInst != 50_000 || sm.EndInst != 150_000 {
+		t.Errorf("interval bounds [%d,%d), want [50000,150000)", sm.StartInst, sm.EndInst)
+	}
+	if sm.Delta.ArchInsts != 100_000 || sm.Delta.BranchMispredicts != 300 {
+		t.Errorf("warmup leaked into delta: %+v", sm.Delta)
+	}
+	if sm.Partial {
+		t.Error("full interval marked partial")
+	}
+	if want := 100_000.0 / 40_000.0; sm.IPC != want {
+		t.Errorf("interval IPC %f, want %f", sm.IPC, want)
+	}
+	if want := 1000 * 300.0 / 100_000.0; sm.BranchMPKI != want {
+		t.Errorf("interval branch MPKI %f, want %f", sm.BranchMPKI, want)
+	}
+}
+
+func TestSamplerRunShorterThanInterval(t *testing.T) {
+	s := NewSampler(100_000)
+	base := snap(0, 0, 0, 0)
+	s.Observe(0, 0, &base)
+	end := snap(7_000, 3_000, 10, 0)
+	s.Observe(7_000, 3_000, &end) // tail sample at run end
+
+	samples := s.Samples()
+	if len(samples) != 1 {
+		t.Fatalf("got %d samples, want 1", len(samples))
+	}
+	if !samples[0].Partial {
+		t.Error("sub-interval tail not marked partial")
+	}
+	if samples[0].Delta.ArchInsts != 7_000 {
+		t.Errorf("tail delta ArchInsts %d, want 7000", samples[0].Delta.ArchInsts)
+	}
+}
+
+func TestSamplerTailOnBoundaryDeduped(t *testing.T) {
+	s := NewSampler(100)
+	base := snap(0, 0, 0, 0)
+	s.Observe(0, 0, &base)
+	mid := snap(100, 40, 0, 0)
+	s.Observe(100, 40, &mid)
+	// Run ends exactly on the interval boundary: the core's tail sample
+	// repeats the same committed count and must not produce a zero-length
+	// interval.
+	s.Observe(100, 40, &mid)
+
+	if n := len(s.Samples()); n != 1 {
+		t.Fatalf("got %d samples, want 1 (boundary tail not deduped)", n)
+	}
+}
+
+func TestSamplerMultipleIntervalsPlusTail(t *testing.T) {
+	s := NewSampler(100)
+	cur := snap(0, 0, 0, 0)
+	s.Observe(0, 0, &cur)
+	for _, insts := range []uint64{100, 200, 300, 350} {
+		cur = snap(insts, insts*2, insts/10, 0)
+		s.Observe(insts, insts*2, &cur)
+	}
+	samples := s.Samples()
+	if len(samples) != 4 {
+		t.Fatalf("got %d samples, want 4", len(samples))
+	}
+	for i, sm := range samples[:3] {
+		if sm.Partial {
+			t.Errorf("sample %d marked partial", i)
+		}
+		if sm.Delta.ArchInsts != 100 {
+			t.Errorf("sample %d delta %d, want 100", i, sm.Delta.ArchInsts)
+		}
+	}
+	tail := samples[3]
+	if !tail.Partial || tail.Delta.ArchInsts != 50 {
+		t.Errorf("tail: partial=%v delta=%d, want partial 50", tail.Partial, tail.Delta.ArchInsts)
+	}
+	// Interval deltas must add back up to the totals.
+	var sum uint64
+	for _, sm := range samples {
+		sum += sm.Delta.ArchInsts
+	}
+	if sum != 350 {
+		t.Errorf("interval deltas sum to %d, want 350", sum)
+	}
+}
+
+// TestSamplerSquashHeavyRegion checks that counters which can grow much
+// faster than commit (squashed µops during flush storms) are carried
+// per-interval like any other counter.
+func TestSamplerSquashHeavyRegion(t *testing.T) {
+	s := NewSampler(100)
+	cur := snap(0, 0, 0, 0)
+	s.Observe(0, 0, &cur)
+	cur = snap(100, 1_000, 50, 40_000) // flush-storm interval
+	s.Observe(100, 1_000, &cur)
+	cur = snap(200, 1_100, 50, 40_000) // calm interval
+	s.Observe(200, 1_100, &cur)
+
+	samples := s.Samples()
+	if len(samples) != 2 {
+		t.Fatalf("got %d samples, want 2", len(samples))
+	}
+	if samples[0].Delta.SquashedUOps != 40_000 || samples[1].Delta.SquashedUOps != 0 {
+		t.Errorf("squash deltas %d,%d, want 40000,0",
+			samples[0].Delta.SquashedUOps, samples[1].Delta.SquashedUOps)
+	}
+	if samples[0].IPC >= samples[1].IPC {
+		t.Errorf("flush-storm interval IPC %f not below calm interval %f",
+			samples[0].IPC, samples[1].IPC)
+	}
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// PCCount is one attribution table entry: a static PC, its event count,
+// and the instruction's disassembly.
+type PCCount struct {
+	PC     uint64 `json:"pc"`
+	Hex    string `json:"pc_hex"`
+	Count  uint64 `json:"count"`
+	Disasm string `json:"disasm,omitempty"`
+}
+
+// TopPC is a bounded approximate heavy-hitter counter over static PCs,
+// using space-saving eviction: when the table is full, a new PC replaces
+// the minimum-count entry and inherits its count, so a true heavy hitter
+// is never undercounted by more than the evicted minimum. With the
+// default capacity (DefaultTableCap) the tables are exact for any
+// workload touching fewer distinct event PCs than the cap — which covers
+// the whole synthetic suite — and gracefully approximate beyond it.
+type TopPC struct {
+	cap int
+	m   map[uint64]*pcEntry
+}
+
+type pcEntry struct {
+	pc    uint64
+	count uint64
+	inst  *isa.Inst
+}
+
+// NewTopPC returns an empty table tracking at most capacity PCs
+// (capacity <= 0 falls back to DefaultTableCap).
+func NewTopPC(capacity int) *TopPC {
+	if capacity <= 0 {
+		capacity = DefaultTableCap
+	}
+	return &TopPC{cap: capacity, m: make(map[uint64]*pcEntry, capacity)}
+}
+
+// Touch counts one event at pc. The instruction pointer is retained for
+// disassembly at report time (instructions are owned by the Program,
+// which outlives the run).
+func (t *TopPC) Touch(pc uint64, in *isa.Inst) {
+	if e, ok := t.m[pc]; ok {
+		e.count++
+		return
+	}
+	if len(t.m) < t.cap {
+		t.m[pc] = &pcEntry{pc: pc, count: 1, inst: in}
+		return
+	}
+	// Space-saving eviction. The O(cap) minimum scan only runs when a
+	// full table meets a new PC; attribution events are per-
+	// kiloinstruction rare, so this stays off the simulator's hot path.
+	var min *pcEntry
+	for _, e := range t.m {
+		if min == nil || e.count < min.count {
+			min = e
+		}
+	}
+	delete(t.m, min.pc)
+	min.pc, min.count, min.inst = pc, min.count+1, in
+	t.m[pc] = min
+}
+
+// Len returns the number of tracked PCs.
+func (t *TopPC) Len() int { return len(t.m) }
+
+// Top returns the k highest-count entries (all entries when k <= 0),
+// ordered by descending count with PC as the deterministic tie-break.
+func (t *TopPC) Top(k int) []PCCount {
+	out := make([]PCCount, 0, len(t.m))
+	for _, e := range t.m {
+		pc := PCCount{PC: e.pc, Hex: fmt.Sprintf("%#x", e.pc), Count: e.count}
+		if e.inst != nil {
+			pc.Disasm = e.inst.String()
+		}
+		out = append(out, pc)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].PC < out[j].PC
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"testing"
+)
+
+func TestTopPCBoundedAndOrdered(t *testing.T) {
+	tp := NewTopPC(4)
+	counts := map[uint64]int{0x100: 5, 0x104: 3, 0x108: 8, 0x10c: 1}
+	for pc, n := range counts {
+		for i := 0; i < n; i++ {
+			tp.Touch(pc, nil)
+		}
+	}
+	if tp.Len() != 4 {
+		t.Fatalf("len %d, want 4", tp.Len())
+	}
+	top := tp.Top(2)
+	if len(top) != 2 || top[0].PC != 0x108 || top[1].PC != 0x100 {
+		t.Fatalf("top-2 = %+v, want PCs 0x108, 0x100", top)
+	}
+	if top[0].Count != 8 || top[0].Hex != "0x108" {
+		t.Errorf("entry %+v, want count 8, hex 0x108", top[0])
+	}
+}
+
+func TestTopPCTieBreakDeterministic(t *testing.T) {
+	tp := NewTopPC(8)
+	for _, pc := range []uint64{0x30, 0x10, 0x20} {
+		tp.Touch(pc, nil)
+	}
+	top := tp.Top(0)
+	if top[0].PC != 0x10 || top[1].PC != 0x20 || top[2].PC != 0x30 {
+		t.Errorf("equal counts not ordered by PC: %+v", top)
+	}
+}
+
+func TestTopPCSpaceSavingEviction(t *testing.T) {
+	tp := NewTopPC(2)
+	for i := 0; i < 5; i++ {
+		tp.Touch(0xa, nil)
+	}
+	tp.Touch(0xb, nil)
+	tp.Touch(0xb, nil)
+	// Table full; a new PC must evict the minimum (0xb, count 2) and
+	// inherit its count + 1 — the space-saving overestimate bound.
+	tp.Touch(0xc, nil)
+	if tp.Len() != 2 {
+		t.Fatalf("len %d, want 2", tp.Len())
+	}
+	top := tp.Top(0)
+	if top[0].PC != 0xa || top[0].Count != 5 {
+		t.Errorf("heavy hitter lost: %+v", top)
+	}
+	if top[1].PC != 0xc || top[1].Count != 3 {
+		t.Errorf("evictee inheritance wrong: %+v (want PC 0xc count 3)", top[1])
+	}
+}

@@ -254,9 +254,9 @@ func (c *Core) issueLoad(u *uop) {
 	case fwd != nil:
 		// Partial overlap: wait for the store data and replay through
 		// the cache.
-		u.readyCycle = maxu(c.mem.L1D.Access(u.ea, agu, false, false), fwd.readyCycle+4)
+		u.readyCycle = maxu(c.l1dAccess(u, agu, false), fwd.readyCycle+4)
 	default:
-		u.readyCycle = c.mem.L1D.Access(u.ea, agu, false, false)
+		u.readyCycle = c.l1dAccess(u, agu, false)
 	}
 }
 
@@ -351,6 +351,9 @@ func (c *Core) validateVP(u *uop) bool {
 	}
 
 	c.st.VPFlushes++
+	if c.hooks != nil {
+		c.hooks.VPFlush(u.dyn.PC, u.dyn.Inst)
+	}
 	if u.vpWide {
 		// GVP: the instruction owns a physical register; the correct
 		// result overwrites the prediction and only younger µops squash.
@@ -402,7 +405,7 @@ func (c *Core) commit() {
 				panic("pipeline: store commit out of order")
 			}
 			c.sq.popFront()
-			c.mem.L1D.Access(u.ea, c.cycle, true, false)
+			c.l1dAccess(u, c.cycle, true)
 		}
 		if u.isLoad {
 			if c.lq.len() == 0 || *c.lq.front() != u {

@@ -110,6 +110,8 @@ type Core struct {
 	fus              fuState
 	flushedThisCycle bool
 	tracer           Tracer
+	probe            Probe
+	hooks            Probe // probe's event hooks, armed at the warmup boundary
 
 	committed   uint64 // committed architectural instructions (total)
 	lastCommitC uint64 // cycle of the last commit (deadlock detection)
@@ -191,11 +193,38 @@ type Result struct {
 func (c *Core) Run(warmup, maxInsts uint64) Result {
 	var warmSnap stats.Sim
 	warmed := warmup == 0
+	// Interval sampling (telemetry): probeNext is the committed-
+	// instruction count of the next sample, 0 while sampling is off, so
+	// the probe-less hot loop pays a single always-false comparison.
+	var probeEvery, probeNext uint64
+	if c.probe != nil {
+		probeEvery = c.probe.SampleEvery()
+		if warmed {
+			c.hooks = c.probe
+			c.syncMemStats()
+			c.probe.Sample(c.committed, c.cycle, &c.st)
+			if probeEvery > 0 {
+				probeNext = c.committed + probeEvery
+			}
+		}
+	}
 	for {
 		if !warmed && c.committed >= warmup {
 			c.syncMemStats()
 			warmSnap = c.st
 			warmed = true
+			if c.probe != nil {
+				c.hooks = c.probe
+				c.probe.Sample(c.committed, c.cycle, &c.st)
+				if probeEvery > 0 {
+					probeNext = c.committed + probeEvery
+				}
+			}
+		}
+		if probeNext != 0 && c.committed >= probeNext {
+			c.syncMemStats()
+			c.probe.Sample(c.committed, c.cycle, &c.st)
+			probeNext = c.committed + probeEvery
 		}
 		if c.committed >= warmup+maxInsts {
 			break
@@ -209,6 +238,9 @@ func (c *Core) Run(warmup, maxInsts uint64) Result {
 		warmSnap = stats.Sim{} // program shorter than warmup: count it all
 	}
 	c.syncMemStats()
+	if c.probe != nil {
+		c.probe.Sample(c.committed, c.cycle, &c.st) // tail sample
+	}
 	res := Result{
 		Cycles:    c.cycle,
 		Committed: c.committed,

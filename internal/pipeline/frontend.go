@@ -84,6 +84,9 @@ func (c *Core) firstFetch(d *emu.DynInst, p *predInfo) {
 		p.bpMispred = pr.Taken != d.Taken
 		if p.bpMispred {
 			c.st.BranchMispredicts++
+			if c.hooks != nil {
+				c.hooks.BranchMispredict(d.PC, in)
+			}
 		}
 		c.tage.Train(d.PC, pr, d.Taken)
 		if c.vpred != nil {
@@ -112,6 +115,9 @@ func (c *Core) firstFetch(d *emu.DynInst, p *predInfo) {
 		p.bpMispred = !ok || tgt != d.NextPC
 		if p.bpMispred {
 			c.st.RASMispreds++
+			if c.hooks != nil {
+				c.hooks.BranchMispredict(d.PC, in)
+			}
 		}
 		c.ind.PushPath(d.NextPC)
 	case in.Op == isa.BR:
@@ -119,6 +125,9 @@ func (c *Core) firstFetch(d *emu.DynInst, p *predInfo) {
 		p.bpMispred = !ok || tgt != d.NextPC
 		if p.bpMispred {
 			c.st.IndirectMispreds++
+			if c.hooks != nil {
+				c.hooks.BranchMispredict(d.PC, in)
+			}
 		}
 		c.ind.Update(d.PC, d.NextPC)
 	}

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/emu"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/simcache"
 	"repro/internal/stats"
@@ -51,6 +52,13 @@ type Config struct {
 	// absolute numbers differ slightly from the paper's timed-warmup
 	// discipline — use it for quick sweeps, not for EXPERIMENTS.md.
 	FastWarmup bool
+	// Heartbeat, when non-nil, receives live sweep progress (runs
+	// done/planned, cache recalls, realized MIPS). Observation only; it
+	// never changes results.
+	Heartbeat *obs.Heartbeat
+	// Obs, when non-nil, collects one machine-readable obs.RunRecord per
+	// unique simulation point touched by the sweep. Observation only.
+	Obs *obs.SweepLog
 }
 
 // Default returns the configuration used for EXPERIMENTS.md.
@@ -115,25 +123,62 @@ func (c Config) simulate(s runSpec) (stats.Sim, error) {
 }
 
 // runOne executes (or recalls) one timing run through the memoization
-// layer.
+// layer, reporting to the optional telemetry sinks.
 func (c Config) runOne(s runSpec) (stats.Sim, error) {
+	observed := c.Heartbeat != nil || c.Obs != nil
+	var st stats.Sim
+	var err error
+	cached := false
 	if c.NoCache {
-		return c.simulate(s)
+		st, err = c.simulate(s)
+	} else {
+		key := simcache.RunKey{
+			Workload:   s.workload,
+			ConfigFP:   s.cfg.Fingerprint(),
+			Warmup:     c.Warmup,
+			Insts:      c.Insts,
+			FastWarmup: c.FastWarmup,
+		}
+		if observed {
+			// Peek so the sinks can distinguish recalls from fresh
+			// simulations; Do below still owns the singleflight semantics.
+			_, cached = runCache.Get(key)
+		}
+		st, err = runCache.Do(key, func() (stats.Sim, error) { return c.simulate(s) })
 	}
-	key := simcache.RunKey{
-		Workload:   s.workload,
-		ConfigFP:   s.cfg.Fingerprint(),
-		Warmup:     c.Warmup,
-		Insts:      c.Insts,
-		FastWarmup: c.FastWarmup,
+	if !observed || err != nil {
+		return st, err
 	}
-	return runCache.Do(key, func() (stats.Sim, error) { return c.simulate(s) })
+	var simulated uint64
+	if !cached {
+		simulated = c.Insts
+		if !c.FastWarmup {
+			simulated += c.Warmup
+		}
+	}
+	if c.Heartbeat != nil {
+		c.Heartbeat.RunDone(simulated, cached)
+	}
+	if c.Obs != nil {
+		c.Obs.Add(obs.RunMeta{
+			Workload:   s.workload,
+			Cfg:        s.cfg,
+			Warmup:     c.Warmup,
+			Insts:      c.Insts,
+			FastWarmup: c.FastWarmup,
+			Cached:     cached,
+		}, st)
+	}
+	return st, err
 }
 
 // runAll executes the specs concurrently and returns stats in order.
 // Failures are collected (not panicked) and reported together, each
 // wrapped with its workload name.
 func (c Config) runAll(specs []runSpec) ([]stats.Sim, error) {
+	if c.Heartbeat != nil {
+		c.Heartbeat.AddPlanned(len(specs))
+	}
 	out := make([]stats.Sim, len(specs))
 	errs := make([]error, len(specs))
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
