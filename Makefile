@@ -1,7 +1,9 @@
 # Development gates for the TVP reproduction.
 #
-#   make check        # what CI runs: vet, build, race on the concurrency-
-#                     # sensitive packages, full test suite, bench-guard
+#   make check        # what CI runs: vet, lint, build, race on the
+#                     # concurrency-sensitive packages, full test suite,
+#                     # bench-guard
+#   make lint         # run tvplint (see internal/analysis) over the module
 #   make bench        # the E1–E14 benchmark sweep + simulator throughput
 #   make bench-guard  # fail if hot-path allocations regress past baseline
 #   make report       # regenerate the full EXPERIMENTS.md report
@@ -17,20 +19,28 @@ GO ?= go
 # hot path, so this number must not grow.
 BENCH_GUARD_ALLOCS ?= 285
 
-.PHONY: check vet build test race bench bench-guard report
+.PHONY: check vet lint build test race bench bench-guard report
 
-check: vet build race test bench-guard
+# lint runs before test so an invariant violation fails fast, before the
+# (much slower) full suite.
+check: vet lint build race test bench-guard
 
 vet:
 	$(GO) vet ./...
 
+# tvplint: the project-specific analyzer suite (fingerprintsafe,
+# hotpathalloc, detmap, statscomplete, nondet). See internal/analysis
+# and CONTRIBUTING.md for the invariants and the escape hatch.
+lint:
+	$(GO) run ./cmd/tvplint
+
 build:
 	$(GO) build ./...
 
-# The run cache and the report fan-out are the concurrency hot spots:
-# keep them race-clean at the short test length.
+# The run cache, the report fan-out, and the telemetry sampler are the
+# concurrency hot spots: keep them race-clean at the short test length.
 race:
-	$(GO) test -race ./internal/simcache ./internal/report
+	$(GO) test -race ./internal/simcache ./internal/report ./internal/obs
 
 test:
 	$(GO) test ./...

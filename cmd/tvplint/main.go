@@ -1,0 +1,89 @@
+// Command tvplint runs the repository's custom static-analysis suite
+// (internal/analysis) over the whole module and exits nonzero on any
+// finding. It enforces, at build time, the invariants the simulator's
+// correctness story rests on:
+//
+//	fingerprintsafe  config.Machine stays %#v-fingerprintable (simcache keys)
+//	hotpathalloc     //tvp:hotpath functions stay allocation-free
+//	detmap           no randomized map iteration feeds reports/records/traces
+//	statscomplete    stats.Sim counters stay uint64 and serialize whole
+//	nondet           no wall clock / math/rand / env reads in simulator core
+//
+// Findings are suppressed line-by-line with a justified escape hatch:
+//
+//	//tvplint:ignore <analyzer> <reason>
+//
+// on the flagged line or the line above (the reason is mandatory).
+// Usage: tvplint [-root dir]. `make lint` wires it into `make check`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	root := flag.String("root", "", "module root to analyze (default: nearest go.mod upward from cwd)")
+	flag.Parse()
+	n, err := run(*root, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tvplint: %v\n", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "tvplint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+// run analyzes the module rooted at root (or the nearest enclosing
+// module), prints findings to out, and returns how many there were.
+func run(root string, out io.Writer) (int, error) {
+	var err error
+	if root == "" {
+		if root, err = findModuleRoot(); err != nil {
+			return 0, err
+		}
+	}
+	if root, err = filepath.Abs(root); err != nil {
+		return 0, err
+	}
+	modPath, err := analysis.ModulePathFromGoMod(root)
+	if err != nil {
+		return 0, err
+	}
+	loader := analysis.NewLoader(root, modPath)
+	if err := loader.LoadAll(); err != nil {
+		return 0, err
+	}
+	diags, err := analysis.RunAnalyzers(loader, analysis.Suite(modPath))
+	if err != nil {
+		return 0, err
+	}
+	for _, d := range diags {
+		fmt.Fprintln(out, analysis.Format(loader.Fset, d))
+	}
+	return len(diags), nil
+}
+
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found upward from cwd")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDriverFailsOnBadModule seeds a module with a fingerprint-poisoning
+// config field and a wall-clock read in a core package and checks the
+// driver reports both (main exits 1 whenever run returns findings).
+func TestDriverFailsOnBadModule(t *testing.T) {
+	var out strings.Builder
+	n, err := run(filepath.Join("testdata", "badmod"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 2 {
+		t.Fatalf("expected at least 2 findings on the seeded bad module, got %d:\n%s", n, out.String())
+	}
+	for _, needle := range []string{"fingerprintsafe", "nondet"} {
+		if !strings.Contains(out.String(), needle) {
+			t.Errorf("driver output missing %s finding:\n%s", needle, out.String())
+		}
+	}
+}
+
+// TestDriverCleanOnGoodModule checks the zero-findings path on a seeded
+// clean module.
+func TestDriverCleanOnGoodModule(t *testing.T) {
+	var out strings.Builder
+	n, err := run(filepath.Join("testdata", "goodmod"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("expected no findings on the clean module, got %d:\n%s", n, out.String())
+	}
+}

@@ -1,0 +1,9 @@
+// Package config seeds a fingerprint-poisoning Machine for the driver
+// test: the map field breaks the %#v rendering contract.
+package config
+
+// Machine carries a map: fingerprintsafe must reject it.
+type Machine struct {
+	Width int
+	Bad   map[string]int
+}

@@ -1,0 +1,8 @@
+// Package sim seeds a wall-clock read in a core package for the driver
+// test: nondet must reject it.
+package sim
+
+import "time"
+
+// Tick couples simulated state to the host clock.
+func Tick() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,8 @@
+// Package config is the clean counterpart of badmod: value fields only.
+package config
+
+// Machine is fully fingerprintable.
+type Machine struct {
+	Width  int
+	Tables []uint
+}

@@ -1,0 +1,173 @@
+// Package analysis is the tvplint static-analysis suite: five custom
+// analyzers that enforce the repository's load-bearing invariants at
+// build time — the content-complete config fingerprint keying the
+// simcache (fingerprintsafe), the zero-allocation simulator hot path
+// (hotpathalloc), bit-identical report/record/trace output (detmap),
+// complete counter serialization (statscomplete), and a
+// wall-clock/environment-free simulator core (nondet).
+//
+// The types here mirror the golang.org/x/tools/go/analysis API
+// (Analyzer, Pass, Diagnostic) so the suite can be ported to a real
+// vettool with mechanical changes once external modules are available;
+// this build runs offline, so the loader and driver are implemented on
+// the standard library alone (go/parser + go/types + the source
+// importer). See cmd/tvplint for the driver binary.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned inside the analyzed package.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string // filled by the runner from the reporting Analyzer
+	Message  string
+}
+
+// Pass carries one package through one analyzer, x/tools-style. Report
+// collects diagnostics; the runner fills the Analyzer name and applies
+// //tvplint:ignore suppressions afterwards.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
+	Report   func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Analyzer is one named check, run once per package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// ignoreRE matches the suppression escape hatch. The reason is
+// mandatory: a bare "//tvplint:ignore detmap" does not suppress, so
+// every silenced finding carries its justification next to the code.
+var ignoreRE = regexp.MustCompile(`^//tvplint:ignore ([a-z]+)(?:\s+(.*))?$`)
+
+// suppression is one parsed //tvplint:ignore comment.
+type suppression struct {
+	analyzer string
+	reason   string
+}
+
+// suppressionIndex maps file name → line → suppressions on that line. A
+// diagnostic is suppressed by a matching comment on its own line or on
+// the line immediately above.
+type suppressionIndex map[string]map[int][]suppression
+
+func buildSuppressions(fset *token.FileSet, files []*ast.File) suppressionIndex {
+	idx := suppressionIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = map[int][]suppression{}
+					idx[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line],
+					suppression{analyzer: m[1], reason: strings.TrimSpace(m[2])})
+			}
+		}
+	}
+	return idx
+}
+
+// suppressed reports whether d is covered by a justified ignore comment.
+func (idx suppressionIndex) suppressed(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	lines := idx[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, s := range lines[line] {
+			if s.analyzer == d.Analyzer && s.reason != "" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RunAnalyzers runs every analyzer over every loaded package and returns
+// the surviving diagnostics (suppressions applied) sorted by position.
+func RunAnalyzers(l *Loader, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range l.Packages() {
+		diags, err := runOnPackage(l.Fset, pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, diags...)
+	}
+	sortDiagnostics(l.Fset, out)
+	return out, nil
+}
+
+func runOnPackage(fset *token.FileSet, pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Pkg:      pkg,
+			Report: func(d Diagnostic) {
+				d.Analyzer = a.Name
+				diags = append(diags, d)
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	idx := buildSuppressions(fset, pkg.Files)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !idx.suppressed(fset, d) {
+			kept = append(kept, d)
+		}
+	}
+	return kept, nil
+}
+
+func sortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+}
+
+// Format renders a diagnostic the way go vet does: file:line:col:
+// analyzer: message.
+func Format(fset *token.FileSet, d Diagnostic) string {
+	pos := fset.Position(d.Pos)
+	return fmt.Sprintf("%s:%d:%d: %s: %s", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+}

@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// runGolden is a miniature analysistest: it loads the given packages
+// from testdata/src (GOPATH-style, import paths relative to that root),
+// runs the analyzers, and compares the surviving diagnostics against
+// `// want "regexp"` comments in the sources — the same expectation
+// format golang.org/x/tools/go/analysis/analysistest uses, so the
+// goldens port unchanged if the suite ever moves onto x/tools.
+// Suppression comments are honored before matching, which is how the
+// suppression-handling cases are expressed.
+func runGolden(t *testing.T, pkgs []string, analyzers []*Analyzer) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := NewLoader(root, "")
+	for _, p := range pkgs {
+		if _, err := loader.Load(p); err != nil {
+			t.Fatalf("loading %s: %v", p, err)
+		}
+	}
+	diags, err := RunAnalyzers(loader, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wants := collectWants(t, loader)
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		pos := loader.Fset.Position(d.Pos)
+		ok := false
+		for i, w := range wants {
+			if !matched[i] && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic %s", Format(loader.Fset, d))
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+func collectWants(t *testing.T, loader *Loader) []want {
+	t.Helper()
+	var wants []want
+	for _, pkg := range loader.Packages() {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					wants = append(wants, parseWant(t, loader.Fset, c)...)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func parseWant(t *testing.T, fset *token.FileSet, c *ast.Comment) []want {
+	m := wantRE.FindStringSubmatch(c.Text)
+	if m == nil {
+		return nil
+	}
+	pos := fset.Position(c.Pos())
+	var wants []want
+	rest := strings.TrimSpace(m[1])
+	for rest != "" {
+		quote := rest[0]
+		if quote != '"' && quote != '`' {
+			t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+		}
+		end := 1
+		for end < len(rest) && (rest[end] != quote || (quote == '"' && rest[end-1] == '\\')) {
+			end++
+		}
+		if end == len(rest) {
+			t.Fatalf("%s:%d: unterminated want pattern %q", pos.Filename, pos.Line, rest)
+		}
+		lit := rest[:end+1]
+		rest = strings.TrimSpace(rest[end+1:])
+		pat, err := strconv.Unquote(lit)
+		if err != nil {
+			t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, lit, err)
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+		}
+		wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+	}
+	return wants
+}
+
+// TestWantSelfCheck guards the harness itself: a want comment must parse
+// into the expected number of patterns.
+func TestWantSelfCheck(t *testing.T) {
+	fset := token.NewFileSet()
+	fset.AddFile("x.go", -1, 100)
+	c := &ast.Comment{Slash: token.Pos(1), Text: `// want "foo" "bar.*baz"`}
+	ws := parseWant(t, fset, c)
+	if len(ws) != 2 {
+		t.Fatalf("parsed %d wants, expected 2", len(ws))
+	}
+	if !ws[1].re.MatchString("bar quux baz") {
+		t.Fatalf("second pattern did not match: %v", ws[1].re)
+	}
+	if fmt.Sprint(ws[0].re) != "foo" {
+		t.Fatalf("first pattern = %v", ws[0].re)
+	}
+}

@@ -1,0 +1,231 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetmapConfig scopes the detmap analyzer.
+type DetmapConfig struct {
+	// SinkPrefixes are import-path prefixes whose packages produce
+	// user-visible output (report text, JSON records, Konata traces).
+	// Every function in a sink package is treated as output-path; in
+	// other packages a function is output-path when it transitively
+	// (within its package) reaches a sink package, fmt printing, or
+	// encoding/json.
+	SinkPrefixes []string
+}
+
+// fmtPrintFamily are the fmt entry points that turn data into report
+// text. Errorf is excluded: error construction is not report output.
+var fmtPrintFamily = map[string]bool{
+	"Print": true, "Println": true, "Printf": true,
+	"Fprint": true, "Fprintln": true, "Fprintf": true,
+	"Sprint": true, "Sprintln": true, "Sprintf": true,
+}
+
+// NewDetmap builds the detmap analyzer: a `range` over a map inside an
+// output-path function observes Go's randomized iteration order, so two
+// identical runs can emit differently-ordered report text, JSON, or
+// trace lines — breaking the bit-identical-output guarantee the
+// simcache and the golden tests rely on. The analyzer accepts the two
+// deterministic idioms — collect-then-sort (a sort.*/slices.* call
+// later in the same function) and order-insensitive map-to-map rebuilds
+// (every loop statement writes only through map indexes or deletes) —
+// and anything else needs keys sorted first or a justified
+// //tvplint:ignore detmap comment.
+func NewDetmap(cfg DetmapConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "detmap",
+		Doc:  "flag nondeterministic map iteration in functions that feed report text, JSON records, or Konata traces",
+	}
+	a.Run = func(pass *Pass) error {
+		decls, objs := packageFuncs(pass)
+		output := outputPathFuncs(pass, cfg, decls, objs)
+		// Iterate declarations in file order (not over the output set)
+		// so diagnostics are produced deterministically.
+		for _, file := range pass.Pkg.Files {
+			for _, d := range file.Decls {
+				decl, ok := d.(*ast.FuncDecl)
+				if !ok || decl.Body == nil {
+					continue
+				}
+				fn := objs[decl]
+				if fn == nil || !output[fn] {
+					continue
+				}
+				checkMapRanges(pass, decl, fn)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+func checkMapRanges(pass *Pass, decl *ast.FuncDecl, fn *types.Func) {
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if t := pass.Pkg.Info.Types[rs.X].Type; t == nil {
+			return true
+		} else if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if sortCallAfter(pass, decl, rs.End()) || orderInsensitiveBody(pass, rs.Body) {
+			return true
+		}
+		pass.Reportf(rs.For, "range over map %s in output-path function %s: iteration order is randomized and feeds report/record/trace output; iterate sorted keys (or //tvplint:ignore detmap <reason>)",
+			types.ExprString(rs.X), fn.Name())
+		return true
+	})
+}
+
+// packageFuncs indexes the package's function declarations by their
+// types.Func object.
+func packageFuncs(pass *Pass) (map[*types.Func]*ast.FuncDecl, map[*ast.FuncDecl]*types.Func) {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	objs := map[*ast.FuncDecl]*types.Func{}
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+				objs[fd] = fn
+			}
+		}
+	}
+	return decls, objs
+}
+
+// outputPathFuncs computes the set of functions whose results feed
+// user-visible output: everything in a sink package, plus (elsewhere)
+// the in-package transitive callers of sink calls.
+func outputPathFuncs(pass *Pass, cfg DetmapConfig, decls map[*types.Func]*ast.FuncDecl, objs map[*ast.FuncDecl]*types.Func) map[*types.Func]bool {
+	output := map[*types.Func]bool{}
+	if hasAnyPrefix(pass.Pkg.Path, cfg.SinkPrefixes) {
+		for fn := range decls {
+			output[fn] = true
+		}
+		return output
+	}
+	// callers[g] = functions in this package that call g.
+	callers := map[*types.Func][]*types.Func{}
+	var work []*types.Func
+	for fn, decl := range decls {
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pass, call)
+			if callee == nil || callee.Pkg() == nil {
+				return true
+			}
+			switch path := callee.Pkg().Path(); {
+			case path == "fmt" && fmtPrintFamily[callee.Name()],
+				path == "encoding/json",
+				hasAnyPrefix(path, cfg.SinkPrefixes):
+				if !output[fn] {
+					output[fn] = true
+					work = append(work, fn)
+				}
+			case path == pass.Pkg.Path:
+				callers[callee] = append(callers[callee], fn)
+			}
+			return true
+		})
+	}
+	for len(work) > 0 {
+		g := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, caller := range callers[g] {
+			if !output[caller] {
+				output[caller] = true
+				work = append(work, caller)
+			}
+		}
+	}
+	return output
+}
+
+// calleeFunc resolves a call's target to a *types.Func when it names a
+// declared function or method (conversions and builtins return nil).
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.Pkg.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// sortCallAfter reports whether decl contains a sort.* or slices.* call
+// positioned after pos — the collect-then-sort idiom, where the map loop
+// only gathers entries and a later sort imposes the deterministic order.
+func sortCallAfter(pass *Pass, decl *ast.FuncDecl, pos token.Pos) bool {
+	found := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || found {
+			return !found
+		}
+		if fn := calleeFunc(pass, call); fn != nil && fn.Pkg() != nil {
+			if p := fn.Pkg().Path(); p == "sort" || p == "slices" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// orderInsensitiveBody reports whether every statement of a map-range
+// body only writes through map indexes or deletes map keys — a
+// map-to-map rebuild whose result cannot depend on iteration order
+// because each source key is visited exactly once.
+func orderInsensitiveBody(pass *Pass, body *ast.BlockStmt) bool {
+	for _, stmt := range body.List {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+				if !ok {
+					return false
+				}
+				t := pass.Pkg.Info.Types[ix.X].Type
+				if t == nil {
+					return false
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return false
+				}
+			}
+		case *ast.ExprStmt:
+			call, ok := s.X.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "delete" {
+				return false
+			}
+			if _, ok := pass.Pkg.Info.Uses[id].(*types.Builtin); !ok {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+)
+
+// NewFingerprintSafe builds the fingerprintsafe analyzer for the struct
+// typeName in package pkgPath (production: config.Machine).
+//
+// Machine.Fingerprint hashes the %#v rendering of the whole struct and
+// internal/simcache keys memoized simulation results on that hash, so
+// the rendering must be a complete, deterministic serialization of the
+// configuration *content*. A pointer, map, func, channel, interface, or
+// unsafe.Pointer field anywhere in the reachable field graph breaks
+// that: %#v renders pointer and func fields as addresses (two equal
+// configs hash differently; worse, two *different* configs can collide
+// after an address is reused), and interface fields hide dynamic types
+// the walk cannot vet. Value fields, structs, arrays, and slices of
+// value types render by content and are safe.
+func NewFingerprintSafe(pkgPath, typeName string) *Analyzer {
+	a := &Analyzer{
+		Name: "fingerprintsafe",
+		Doc:  fmt.Sprintf("reject pointer-carrying fields reachable from %s.%s, which would poison the %%#v config fingerprint keying the simcache", pkgPath, typeName),
+	}
+	a.Run = func(pass *Pass) error {
+		if pass.Pkg.Path != pkgPath {
+			return nil
+		}
+		obj := pass.Pkg.Types.Scope().Lookup(typeName)
+		if obj == nil {
+			pass.Reportf(pass.Pkg.Files[0].Package,
+				"fingerprint root type %s.%s not found; the simcache key has no content guarantee", pkgPath, typeName)
+			return nil
+		}
+		st, ok := obj.Type().Underlying().(*types.Struct)
+		if !ok {
+			pass.Reportf(obj.Pos(), "fingerprint root %s must be a struct, got %s", typeName, obj.Type().Underlying())
+			return nil
+		}
+		seen := map[*types.Named]bool{}
+		walkFingerprintStruct(pass, st, typeName, obj.Pos(), seen)
+		return nil
+	}
+	return a
+}
+
+func walkFingerprintStruct(pass *Pass, st *types.Struct, path string, parentPos token.Pos, seen map[*types.Named]bool) {
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		pos := parentPos
+		// Point at the field declaration when it lives in the package
+		// under analysis; foreign fields fall back to the enclosing
+		// field so the diagnostic stays inside the analyzed package.
+		if f.Pkg() == pass.Pkg.Types {
+			pos = f.Pos()
+		}
+		checkFingerprintType(pass, f.Type(), path+"."+f.Name(), pos, seen)
+	}
+}
+
+func checkFingerprintType(pass *Pass, t types.Type, path string, pos token.Pos, seen map[*types.Named]bool) {
+	if n, ok := types.Unalias(t).(*types.Named); ok {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		if u.Kind() == types.UnsafePointer {
+			pass.Reportf(pos, "fingerprint-unsafe field %s: unsafe.Pointer renders as an address under %%#v and poisons the simcache fingerprint", path)
+		}
+	case *types.Pointer:
+		pass.Reportf(pos, "fingerprint-unsafe field %s: pointer type %s renders as an address under %%#v and poisons the simcache fingerprint", path, t)
+	case *types.Map:
+		pass.Reportf(pos, "fingerprint-unsafe field %s: map type %s has no canonical %%#v rendering contract for the simcache fingerprint", path, t)
+	case *types.Signature:
+		pass.Reportf(pos, "fingerprint-unsafe field %s: func type %s renders as an address under %%#v and poisons the simcache fingerprint", path, t)
+	case *types.Chan:
+		pass.Reportf(pos, "fingerprint-unsafe field %s: channel type %s renders as an address under %%#v and poisons the simcache fingerprint", path, t)
+	case *types.Interface:
+		pass.Reportf(pos, "fingerprint-unsafe field %s: interface type %s hides dynamic content from the %%#v fingerprint walk", path, t)
+	case *types.Struct:
+		walkFingerprintStruct(pass, u, path, pos, seen)
+	case *types.Slice:
+		checkFingerprintType(pass, u.Elem(), path+"[]", pos, seen)
+	case *types.Array:
+		checkFingerprintType(pass, u.Elem(), path+"[]", pos, seen)
+	}
+}

@@ -1,0 +1,251 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotpathMarker is the annotation that opts a function into the
+// hotpathalloc check. It goes in the doc comment:
+//
+//	// fetch advances the frontend by one cycle.
+//	//
+//	//tvp:hotpath
+//	func (c *Core) fetch() { ... }
+//
+// Annotated functions run once per simulated cycle or per instruction;
+// a single heap allocation there multiplies into millions per run and
+// blows the bench-guard ceiling.
+const HotpathMarker = "//tvp:hotpath"
+
+// NewHotpathAlloc builds the hotpathalloc analyzer: functions annotated
+// //tvp:hotpath may not contain heap-allocating or boxing constructs —
+// fmt calls (which box every argument), escaping composite literals
+// (&T{...}, map/slice literals), make/new, capacity-growing append,
+// escaping closures, go statements, defer inside loops, or implicit
+// conversions of concrete values to interface types. Arguments of
+// panic(...) calls are exempt (cold assertion paths), as are in-place
+// compaction appends (append(x[:i], x[j:]...)) and closures bound to
+// local variables, none of which allocate.
+func NewHotpathAlloc() *Analyzer {
+	a := &Analyzer{
+		Name: "hotpathalloc",
+		Doc:  "forbid heap allocation and interface boxing in //tvp:hotpath-annotated functions",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !isHotpath(fd) {
+					continue
+				}
+				checkHotpathFunc(pass, fd)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if text := strings.TrimSpace(c.Text); text == HotpathMarker || strings.HasPrefix(text, HotpathMarker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotpathFunc(pass *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	// Closures bound to a local variable (f := func(...){...}) are
+	// non-escaping helpers the compiler keeps on the stack; anything
+	// else (argument position, struct field, return value) escapes.
+	localLits := map[*ast.FuncLit]bool{}
+	addrLits := map[*ast.CompositeLit]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if fl, ok := ast.Unparen(rhs).(*ast.FuncLit); ok && i < len(n.Lhs) {
+					if _, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident); ok {
+						localLits[fl] = true
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if cl, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok && n.Op.String() == "&" {
+				addrLits[cl] = true
+			}
+		}
+		return true
+	})
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltinCall(pass, n, "panic") {
+				return false // cold assertion path: arguments never run per-cycle
+			}
+			checkHotpathCall(pass, n, name)
+		case *ast.FuncLit:
+			if !localLits[n] {
+				pass.Reportf(n.Pos(), "%s is //tvp:hotpath: escaping closure allocates; hoist it or bind it to a local variable", name)
+			}
+		case *ast.CompositeLit:
+			t := pass.Pkg.Info.Types[n].Type
+			if t == nil {
+				break
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), "%s is //tvp:hotpath: map literal %s allocates", name, types.ExprString(n.Type))
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "%s is //tvp:hotpath: slice literal allocates", name)
+			default:
+				if addrLits[n] {
+					pass.Reportf(n.Pos(), "%s is //tvp:hotpath: &composite literal escapes to the heap", name)
+				}
+			}
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "%s is //tvp:hotpath: go statement allocates a goroutine per invocation", name)
+		case *ast.ForStmt:
+			checkLoopDefers(pass, n.Body, name)
+		case *ast.RangeStmt:
+			checkLoopDefers(pass, n.Body, name)
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+func checkLoopDefers(pass *Pass, body *ast.BlockStmt, name string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ds, ok := n.(*ast.DeferStmt); ok {
+			pass.Reportf(ds.Pos(), "%s is //tvp:hotpath: defer inside a loop heap-allocates its frame every iteration", name)
+		}
+		return true
+	})
+}
+
+func checkHotpathCall(pass *Pass, call *ast.CallExpr, name string) {
+	// Explicit conversion to an interface type boxes the operand.
+	if tv, ok := pass.Pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		if _, isIface := tv.Type.Underlying().(*types.Interface); isIface && len(call.Args) == 1 {
+			if argT := pass.Pkg.Info.Types[call.Args[0]].Type; argT != nil && !isInterfaceOrNil(argT) {
+				pass.Reportf(call.Pos(), "%s is //tvp:hotpath: conversion of %s to interface %s boxes on the heap", name, argT, tv.Type)
+			}
+		}
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.Pkg.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				pass.Reportf(call.Pos(), "%s is //tvp:hotpath: make allocates; preallocate in the constructor", name)
+			case "new":
+				pass.Reportf(call.Pos(), "%s is //tvp:hotpath: new allocates; preallocate in the constructor", name)
+			case "append":
+				if !isCompactionAppend(call) {
+					pass.Reportf(call.Pos(), "%s is //tvp:hotpath: append may grow the backing array; preallocate capacity (or //tvplint:ignore hotpathalloc <reason>)", name)
+				}
+			}
+			return
+		}
+	}
+	fn := calleeFunc(pass, call)
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "%s is //tvp:hotpath: fmt.%s boxes its arguments and allocates", name, fn.Name())
+		return
+	}
+	// Implicit interface boxing: a concrete argument passed to an
+	// interface parameter allocates unless the value is already an
+	// interface (or nil).
+	sig := calleeSignature(pass, call)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramTypeAt(sig, i)
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		argT := pass.Pkg.Info.Types[arg].Type
+		if argT == nil || isInterfaceOrNil(argT) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "%s is //tvp:hotpath: passing concrete %s as interface parameter %s boxes on the heap", name, argT, pt)
+	}
+}
+
+func isBuiltinCall(pass *Pass, call *ast.CallExpr, builtin string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != builtin {
+		return false
+	}
+	_, ok = pass.Pkg.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// isCompactionAppend recognizes append(x[:i], x[j:]...) — removing an
+// element in place. The result length never exceeds the original, so
+// the backing array is reused and nothing allocates.
+func isCompactionAppend(call *ast.CallExpr) bool {
+	if len(call.Args) != 2 || !call.Ellipsis.IsValid() {
+		return false
+	}
+	dst, ok := ast.Unparen(call.Args[0]).(*ast.SliceExpr)
+	if !ok {
+		return false
+	}
+	src, ok := ast.Unparen(call.Args[1]).(*ast.SliceExpr)
+	if !ok {
+		return false
+	}
+	return types.ExprString(dst.X) == types.ExprString(src.X)
+}
+
+func calleeSignature(pass *Pass, call *ast.CallExpr) *types.Signature {
+	tv, ok := pass.Pkg.Info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// paramTypeAt returns the static type of parameter i, unrolling the
+// variadic tail.
+func paramTypeAt(sig *types.Signature, i int) types.Type {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= params.Len()-1 {
+		last := params.At(params.Len() - 1).Type()
+		if sl, ok := last.Underlying().(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return nil
+	}
+	if i >= params.Len() {
+		return nil
+	}
+	return params.At(i).Type()
+}
+
+func isInterfaceOrNil(t types.Type) bool {
+	if b, ok := t.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return true
+	}
+	_, isIface := t.Underlying().(*types.Interface)
+	return isIface
+}

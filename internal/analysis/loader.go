@@ -1,0 +1,261 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one parsed and type-checked package of the module under
+// analysis (non-test files only, matching what ships in binaries).
+type Package struct {
+	Path  string // import path ("repro/internal/config")
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks every package under a module root using
+// only the standard library: module-internal imports are resolved by
+// directory, everything else (the standard library) through the source
+// importer, so the whole suite runs without network access or external
+// modules.
+type Loader struct {
+	Root       string // absolute module root directory
+	ModulePath string // module path from go.mod; "" means import paths are root-relative (testdata layout)
+	Fset       *token.FileSet
+
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader returns a loader rooted at dir. modulePath names the module
+// ("repro" for this repository); the empty string switches to the
+// GOPATH-style testdata layout where import paths are directories
+// relative to root.
+func NewLoader(dir, modulePath string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:       dir,
+		ModulePath: modulePath,
+		Fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       map[string]*Package{},
+		loading:    map[string]bool{},
+	}
+}
+
+// ModulePathFromGoMod reads the module path out of dir/go.mod.
+func ModulePathFromGoMod(dir string) (string, error) {
+	b, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("no module directive in %s/go.mod", dir)
+}
+
+// LoadAll loads every package under the module root.
+func (l *Loader) LoadAll() error {
+	dirs, err := l.packageDirs(l.Root)
+	if err != nil {
+		return err
+	}
+	for _, d := range dirs {
+		if _, err := l.Load(l.pathForDir(d)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load type-checks the package with the given import path (and,
+// recursively, its module-internal dependencies), memoized.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	dir, ok := l.dirForPath(path)
+	if !ok {
+		return nil, fmt.Errorf("package %s not found under %s", path, l.Root)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no buildable Go files in %s", dir)
+	}
+	// Pre-load module-internal dependencies so Import can resolve them
+	// from the memo table.
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			ipath, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if _, ok := l.dirForPath(ipath); ok {
+				if _, err := l.Load(ipath); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type-checking %s: %w", path, typeErrs[0])
+	}
+	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// Import implements types.Importer: module-internal packages come from
+// the memo table (loaded before the importing package is checked),
+// everything else from the standard library's source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p.Types, nil
+	}
+	if _, ok := l.dirForPath(path); ok {
+		return nil, fmt.Errorf("module package %s not loaded", path)
+	}
+	return l.std.Import(path)
+}
+
+// Packages returns every loaded package sorted by import path.
+func (l *Loader) Packages() []*Package {
+	out := make([]*Package, 0, len(l.pkgs))
+	for _, p := range l.pkgs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+func (l *Loader) pathForDir(dir string) string {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil || rel == "." {
+		return l.ModulePath
+	}
+	rel = filepath.ToSlash(rel)
+	if l.ModulePath == "" {
+		return rel
+	}
+	return l.ModulePath + "/" + rel
+}
+
+func (l *Loader) dirForPath(path string) (string, bool) {
+	var rel string
+	switch {
+	case path == l.ModulePath && l.ModulePath != "":
+		rel = "."
+	case l.ModulePath != "" && strings.HasPrefix(path, l.ModulePath+"/"):
+		rel = strings.TrimPrefix(path, l.ModulePath+"/")
+	case l.ModulePath == "" && path != "":
+		rel = path
+	default:
+		return "", false
+	}
+	dir := filepath.Join(l.Root, filepath.FromSlash(rel))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return "", false
+	}
+	for _, e := range ents {
+		if isBuildableGoFile(e) {
+			return dir, true
+		}
+	}
+	return "", false
+}
+
+// packageDirs returns every directory under root holding buildable Go
+// files, skipping testdata, hidden, and vendor trees (the same pruning
+// the go tool applies).
+func (l *Loader) packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if isBuildableGoFile(e) {
+				dirs = append(dirs, p)
+				break
+			}
+		}
+		return nil
+	})
+	sort.Strings(dirs)
+	return dirs, err
+}
+
+func isBuildableGoFile(e os.DirEntry) bool {
+	n := e.Name()
+	return !e.IsDir() && strings.HasSuffix(n, ".go") &&
+		!strings.HasSuffix(n, "_test.go") && !strings.HasPrefix(n, ".") && !strings.HasPrefix(n, "_")
+}
+
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if !isBuildableGoFile(e) {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+)
+
+// NondetConfig scopes the nondet analyzer.
+type NondetConfig struct {
+	// CorePrefixes are import-path prefixes of simulator-core packages
+	// (production: "repro/internal/"). Only code under these prefixes is
+	// checked.
+	CorePrefixes []string
+	// AllowPkgs are exact import paths exempt from the check
+	// (production: internal/xrand, the sanctioned deterministic PRNG,
+	// and internal/analysis itself).
+	AllowPkgs []string
+	// AllowFiles are file basenames exempt within core packages
+	// (production: heartbeat.go, whose whole purpose is wall-clock
+	// progress reporting on stderr).
+	AllowFiles []string
+}
+
+// timeFuncs are the wall-clock entry points; reading them inside the
+// simulator core couples simulated behavior to host timing.
+var timeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// envFuncs leak host environment into simulated state.
+var envFuncs = map[string]bool{"Getenv": true, "LookupEnv": true, "Environ": true, "ExpandEnv": true}
+
+// NewNondet builds the nondet analyzer: simulator-core packages may not
+// read wall clocks (time.Now/Since/Until), the global or seeded
+// math/rand generators (whose sequences are not pinned across Go
+// releases — use internal/xrand), or process environment
+// (os.Getenv & co.). Any of these makes a run's outputs depend on the
+// host instead of the configuration, breaking the bit-identical-output
+// guarantee and silently invalidating simcache hits.
+func NewNondet(cfg NondetConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "nondet",
+		Doc:  "forbid wall clocks, math/rand, and environment reads inside simulator-core packages",
+	}
+	a.Run = func(pass *Pass) error {
+		if !hasAnyPrefix(pass.Pkg.Path, cfg.CorePrefixes) {
+			return nil
+		}
+		for _, p := range cfg.AllowPkgs {
+			if pass.Pkg.Path == p {
+				return nil
+			}
+		}
+		for _, file := range pass.Pkg.Files {
+			base := filepath.Base(pass.Fset.Position(file.Package).Filename)
+			if contains(cfg.AllowFiles, base) {
+				continue
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := pass.Pkg.Info.Uses[id]
+				if obj == nil || obj.Pkg() == nil {
+					return true
+				}
+				switch obj.Pkg().Path() {
+				case "time":
+					if timeFuncs[obj.Name()] {
+						pass.Reportf(id.Pos(), "wall clock time.%s in simulator-core package %s: outputs must depend only on the configuration (allowlist: obs/heartbeat.go)", obj.Name(), pass.Pkg.Path)
+					}
+				case "math/rand", "math/rand/v2":
+					pass.Reportf(id.Pos(), "math/rand (%s) in simulator-core package %s: sequences are not pinned across Go releases; use internal/xrand", obj.Name(), pass.Pkg.Path)
+				case "os":
+					if envFuncs[obj.Name()] {
+						pass.Reportf(id.Pos(), "environment read os.%s in simulator-core package %s: host environment must not influence simulated state", obj.Name(), pass.Pkg.Path)
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+func hasAnyPrefix(s string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if strings.HasPrefix(s, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// NewStatsComplete builds the statscomplete analyzer over the stats
+// package (statsPkg, declaring the Sim counter block and the Sub delta)
+// and the obs package (obsPkg, declaring the RunRecord / Sample
+// serialization shapes).
+//
+// The runtime machinery keeps counters complete *structurally*:
+// stats.Sub computes deltas with a reflect loop over every field, and
+// obs embeds the whole Sim block in RunRecord.Totals and Sample.Delta so
+// JSON serialization can never drop a counter. This analyzer promotes
+// the assumptions that structure rests on to compile-time checks — the
+// failure modes it rejects (a non-uint64 counter panicking Sub's
+// SetUint at runtime, a json:"-"/omitempty tag silently dropping a
+// counter, or a record type replacing the embedded block with a
+// hand-enumerated subset) are exactly the ones the PR 2 reflect test
+// only catches when the test suite runs.
+func NewStatsComplete(statsPkg, obsPkg string) *Analyzer {
+	a := &Analyzer{
+		Name: "statscomplete",
+		Doc:  "every stats.Sim counter must be a uint64 covered by the Sub delta path and carried whole in obs.RunRecord/obs.Sample serialization",
+	}
+	a.Run = func(pass *Pass) error {
+		switch pass.Pkg.Path {
+		case statsPkg:
+			checkSimCounters(pass)
+		case obsPkg:
+			checkRecordCarriesSim(pass, statsPkg, "RunRecord", "Totals")
+			checkRecordCarriesSim(pass, statsPkg, "Sample", "Delta")
+		}
+		return nil
+	}
+	return a
+}
+
+// checkSimCounters enforces the stats-side contract: Sim exists, every
+// field is a uint64 counter (Sub's reflect loop calls SetUint on every
+// field and panics on anything else), no field hides from JSON, and the
+// Sub delta function is present.
+func checkSimCounters(pass *Pass) {
+	scope := pass.Pkg.Types.Scope()
+	obj := scope.Lookup("Sim")
+	if obj == nil {
+		pass.Reportf(pass.Pkg.Files[0].Package, "counter block type Sim not found in %s", pass.Pkg.Path)
+		return
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		pass.Reportf(obj.Pos(), "Sim must be a struct of uint64 counters, got %s", obj.Type().Underlying())
+		return
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if b, ok := f.Type().Underlying().(*types.Basic); !ok || b.Kind() != types.Uint64 {
+			pass.Reportf(f.Pos(), "counter field Sim.%s is %s, not uint64: Sub's reflect delta (SetUint over every field) would panic and interval deltas would silently diverge", f.Name(), f.Type())
+		}
+		if tag := reflect.StructTag(st.Tag(i)).Get("json"); tag == "-" || strings.Contains(tag, "omitempty") {
+			pass.Reportf(f.Pos(), "counter field Sim.%s carries json tag %q, which drops it from RunRecord/Sample serialization", f.Name(), tag)
+		}
+	}
+	if sub := scope.Lookup("Sub"); sub == nil {
+		pass.Reportf(obj.Pos(), "delta function Sub missing from %s: warmup exclusion and interval sampling depend on it", pass.Pkg.Path)
+	} else if sig, ok := sub.Type().(*types.Signature); !ok || sig.Params().Len() != 2 || sig.Results().Len() != 1 {
+		pass.Reportf(sub.Pos(), "delta function Sub must be Sub(a, b *Sim) Sim, got %s", sub.Type())
+	}
+}
+
+// checkRecordCarriesSim enforces the obs-side contract: the named record
+// type carries a whole stats.Sim in the named field, exported and not
+// JSON-suppressed, so serialization is complete by construction.
+func checkRecordCarriesSim(pass *Pass, statsPkg, typeName, fieldName string) {
+	obj := pass.Pkg.Types.Scope().Lookup(typeName)
+	if obj == nil {
+		pass.Reportf(pass.Pkg.Files[0].Package, "record type %s not found in %s: the versioned stats output contract is gone", typeName, pass.Pkg.Path)
+		return
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		pass.Reportf(obj.Pos(), "record type %s must be a struct, got %s", typeName, obj.Type().Underlying())
+		return
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() != fieldName {
+			continue
+		}
+		n, ok := types.Unalias(f.Type()).(*types.Named)
+		if !ok || n.Obj().Name() != "Sim" || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != statsPkg {
+			pass.Reportf(f.Pos(), "%s.%s must carry the whole %s.Sim counter block (got %s): a hand-enumerated subset silently drops future counters from serialization", typeName, fieldName, statsPkg, f.Type())
+			return
+		}
+		if !f.Exported() {
+			pass.Reportf(f.Pos(), "%s.%s is unexported: encoding/json drops it and every counter with it", typeName, fieldName)
+		}
+		if tag := reflect.StructTag(st.Tag(i)).Get("json"); tag == "-" || strings.Contains(tag, "omitempty") {
+			pass.Reportf(f.Pos(), "%s.%s carries json tag %q, which drops the counter block from serialization", typeName, fieldName, tag)
+		}
+		return
+	}
+	pass.Reportf(obj.Pos(), "%s has no %s field of type %s.Sim: counters are no longer serialized whole", typeName, fieldName, statsPkg)
+}

@@ -1,0 +1,32 @@
+package analysis
+
+// Suite returns the production tvplint analyzer set, configured for this
+// module's layout. cmd/tvplint runs it over the whole module; the
+// analysistest goldens exercise each analyzer against synthetic
+// packages with test-local configurations.
+func Suite(modulePath string) []*Analyzer {
+	internal := modulePath + "/internal/"
+	return []*Analyzer{
+		NewFingerprintSafe(internal+"config", "Machine"),
+		NewHotpathAlloc(),
+		NewDetmap(DetmapConfig{
+			SinkPrefixes: []string{
+				internal + "report",
+				internal + "obs",
+				modulePath + "/cmd/",
+				modulePath + "/examples/",
+			},
+		}),
+		NewStatsComplete(internal+"stats", internal+"obs"),
+		NewNondet(NondetConfig{
+			CorePrefixes: []string{internal},
+			AllowPkgs: []string{
+				internal + "xrand",    // the sanctioned deterministic PRNG wrapper
+				internal + "analysis", // the lint suite itself is tooling, not simulator
+			},
+			AllowFiles: []string{
+				"heartbeat.go", // throttled stderr progress: wall clock is its purpose
+			},
+		}),
+	}
+}

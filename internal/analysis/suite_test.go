@@ -1,0 +1,39 @@
+package analysis
+
+import "testing"
+
+// The golden tests run each analyzer over synthetic packages under
+// testdata/src, matching findings against // want comments — including
+// the //tvplint:ignore suppression cases (a justified ignore silences a
+// finding; a bare one does not).
+
+func TestFingerprintSafeGolden(t *testing.T) {
+	runGolden(t, []string{"fps"},
+		[]*Analyzer{NewFingerprintSafe("fps", "Machine")})
+}
+
+func TestHotpathAllocGolden(t *testing.T) {
+	runGolden(t, []string{"hp"}, []*Analyzer{NewHotpathAlloc()})
+}
+
+func TestDetmapGolden(t *testing.T) {
+	runGolden(t, []string{"dm/sink", "dm/feeder"},
+		[]*Analyzer{NewDetmap(DetmapConfig{SinkPrefixes: []string{"dm/sink"}})})
+}
+
+func TestStatsCompleteGolden(t *testing.T) {
+	runGolden(t, []string{"sc/stats", "sc/stats2", "sc/obs"},
+		[]*Analyzer{
+			NewStatsComplete("sc/stats", "sc/obs"),
+			NewStatsComplete("sc/stats2", "sc/none"),
+		})
+}
+
+func TestNondetGolden(t *testing.T) {
+	runGolden(t, []string{"nd/core", "nd/free"},
+		[]*Analyzer{NewNondet(NondetConfig{
+			CorePrefixes: []string{"nd/"},
+			AllowPkgs:    []string{"nd/free"},
+			AllowFiles:   []string{"heartbeat.go"},
+		})})
+}

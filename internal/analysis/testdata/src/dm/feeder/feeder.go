@@ -1,0 +1,27 @@
+// Package feeder is the detmap golden for transitive sink reach: it is
+// not a sink package, so only functions that (transitively, in-package)
+// reach fmt printing or a sink package are checked.
+package feeder
+
+import "fmt"
+
+// render feeds report text through emit: output-path, flagged.
+func render(m map[string]int) string {
+	out := ""
+	for k, v := range m { // want "range over map m in output-path function render"
+		out += emit(k, v)
+	}
+	return out
+}
+
+func emit(k string, v int) string { return fmt.Sprintf("%s=%d", k, v) }
+
+// pure never reaches any output sink: map order stays internal, not
+// flagged even though the loop is order-sensitive.
+func pure(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,60 @@
+// Package sink is a detmap golden package configured as an output sink:
+// every function here is output-path.
+package sink
+
+import "sort"
+
+// bad leaks map iteration order straight into its result.
+func bad(m map[int]int) []int {
+	var out []int
+	for _, v := range m { // want "range over map m in output-path function bad"
+		out = append(out, v)
+	}
+	return out
+}
+
+// sorted is the collect-then-sort idiom: allowed.
+func sorted(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// rebuild only writes through map indexes: order-insensitive, allowed.
+func rebuild(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// prune deletes from a map while rebuilding another: allowed.
+func prune(m, dead map[int]int) {
+	for k := range dead {
+		delete(m, k)
+	}
+}
+
+// justified sums ints — commutative, so the suppression is sound.
+func justified(m map[int]int) int {
+	s := 0
+	//tvplint:ignore detmap integer summation is commutative; order cannot reach the output
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// unjustified carries a bare ignore without a reason: still flagged.
+func unjustified(m map[int]int) int {
+	s := 0
+	//tvplint:ignore detmap
+	for _, v := range m { // want "range over map m in output-path function unjustified"
+		s += v
+	}
+	return s
+}

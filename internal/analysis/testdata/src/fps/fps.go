@@ -1,0 +1,37 @@
+// Package fps is the fingerprintsafe golden: a Machine-like config
+// struct mixing fingerprintable value fields with every rejected kind.
+package fps
+
+// Machine mirrors config.Machine's role: the %#v fingerprint root.
+type Machine struct {
+	Width  int
+	Name   string
+	Ratio  float64
+	Flags  [4]bool
+	Nested Sub
+	Tables []Sub
+	Scale  []uint
+
+	BadPtr    *int           // want "fingerprint-unsafe field Machine.BadPtr: pointer"
+	BadMap    map[string]int // want "fingerprint-unsafe field Machine.BadMap: map"
+	BadFunc   func() int     // want "fingerprint-unsafe field Machine.BadFunc: func"
+	BadChan   chan int       // want "fingerprint-unsafe field Machine.BadChan: channel"
+	BadIface  interface{}    // want "fingerprint-unsafe field Machine.BadIface: interface"
+	BadSlice  []*int         // want `fingerprint-unsafe field Machine.BadSlice\[\]: pointer`
+	unexpPtr  *int           // want "fingerprint-unsafe field Machine.unexpPtr: pointer"
+	CleanLast uint64
+}
+
+// Sub is reached through both Nested and Tables; its violation is
+// reported once (at the first reaching field) thanks to the named-type
+// visit guard.
+type Sub struct {
+	OK  uint64
+	Ptr *uint64 // want "fingerprint-unsafe field Machine.Nested.Ptr: pointer"
+}
+
+// Other is not reachable from Machine: no findings however bad it is.
+type Other struct {
+	P *int
+	M map[int]func()
+}

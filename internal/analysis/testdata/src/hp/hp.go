@@ -1,0 +1,72 @@
+// Package hp is the hotpathalloc golden: annotated functions with every
+// rejected construct, the allowed idioms, and suppression handling.
+package hp
+
+import "fmt"
+
+type T struct{ x int }
+
+type S struct {
+	buf  []int
+	q    []int
+	vals []T
+}
+
+func sink(x interface{}) { _ = x }
+
+func helper() {}
+
+// hot exercises every rejected construct.
+//
+//tvp:hotpath
+func (s *S) hot(v int) {
+	s.buf = append(s.buf, v) // want "append may grow the backing array"
+	_ = make([]int, 4)       // want "make allocates"
+	_ = new(T)               // want "new allocates"
+	p := &T{x: v}            // want "escaping composite literal|escapes to the heap"
+	_ = p
+	m := map[int]int{} // want "map literal"
+	_ = m
+	sl := []int{v} // want "slice literal allocates"
+	_ = sl
+	fmt.Println(v)  // want `fmt.Println boxes its arguments`
+	_ = any(v)      // want "conversion of int to interface"
+	sink(v)         // want "passing concrete int as interface parameter"
+	go helper()     // want "go statement allocates"
+	sink(nil)       // nil never boxes
+	for i := 0; i < 2; i++ {
+		defer helper() // want "defer inside a loop"
+	}
+}
+
+// allowed exercises the idioms the analyzer accepts.
+//
+//tvp:hotpath
+func (s *S) allowed(v int, cold bool) int {
+	if cold {
+		panic(fmt.Sprintf("cold assertion path %d", v)) // panic args are exempt
+	}
+	s.q = append(s.q[:1], s.q[2:]...) // in-place compaction never grows
+	add := func(x int) int { return x + v }
+	defer helper() // top-level defer is open-coded, no allocation
+	t := T{x: v}   // value composite literal stays on the stack
+	_ = t
+	return add(v)
+}
+
+// suppressed demonstrates the escape hatch: a justified ignore silences
+// the finding, a bare one does not.
+//
+//tvp:hotpath
+func (s *S) suppressed(v int) {
+	//tvplint:ignore hotpathalloc capacity is preallocated in the constructor, append never grows
+	s.buf = append(s.buf, v)
+	//tvplint:ignore hotpathalloc
+	s.buf = append(s.buf, v) // want "append may grow the backing array"
+}
+
+// unannotated may allocate freely: no findings.
+func (s *S) unannotated(v int) {
+	s.vals = append(s.vals, T{x: v})
+	fmt.Println(make([]int, v))
+}

@@ -1,0 +1,26 @@
+// Package core is the nondet golden: a simulator-core package reading
+// wall clocks, global math/rand, and the environment.
+package core
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+var start time.Time
+
+// clock reads the wall clock: simulated outputs must not.
+func clock() int64 { return time.Now().Unix() } // want "wall clock time.Now in simulator-core package nd/core"
+
+// roll uses math/rand, whose sequences drift across Go releases.
+func roll() int { return rand.Intn(6) } // want "math/rand"
+
+// env leaks the host environment into simulated state.
+func env() string { return os.Getenv("HOME") } // want "environment read os.Getenv"
+
+// throttled carries a justified suppression: silent.
+func throttled() time.Duration {
+	//tvplint:ignore nondet measured host latency feeds only the stderr progress line, never simulated state
+	return time.Since(start)
+}

@@ -1,0 +1,7 @@
+package core
+
+import "time"
+
+// hb lives in an allowlisted file (heartbeat.go): wall clock is its
+// purpose, no findings.
+func hb() int64 { return time.Now().UnixNano() }

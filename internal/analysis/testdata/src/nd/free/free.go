@@ -1,0 +1,9 @@
+// Package free is allowlisted as a whole (the xrand role): math/rand is
+// fine here, no findings.
+package free
+
+import "math/rand"
+
+// Roll may use math/rand: this package wraps randomness for the rest of
+// the tree.
+func Roll() int { return rand.Intn(6) }

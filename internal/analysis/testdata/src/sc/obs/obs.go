@@ -1,0 +1,21 @@
+// Package obs is the statscomplete golden obs side: record types that
+// drop or truncate the counter block.
+package obs
+
+import "sc/stats"
+
+// SimSubset hand-enumerates counters — the failure mode the analyzer
+// exists to reject.
+type SimSubset struct{ Cycles uint64 }
+
+// RunRecord carries a subset instead of the whole block.
+type RunRecord struct {
+	Schema string
+	Totals SimSubset // want "RunRecord.Totals must carry the whole sc/stats.Sim counter block"
+}
+
+// Sample carries the right type but hides it from JSON.
+type Sample struct {
+	StartInst uint64
+	Delta     stats.Sim `json:"-"` // want `Sample.Delta carries json tag "-"`
+}

@@ -1,0 +1,15 @@
+// Package stats is the statscomplete golden stats side: a counter block
+// with a non-uint64 field and a JSON-hidden field, plus a valid Sub.
+package stats
+
+// Sim mirrors stats.Sim: the complete counter block.
+type Sim struct {
+	Cycles    uint64
+	ArchInsts uint64
+	IPCcache  float64 // want "counter field Sim.IPCcache is float64, not uint64"
+	Hidden    uint64  `json:"-"` // want `counter field Sim.Hidden carries json tag "-"`
+	Sparse    uint64  `json:"sparse,omitempty"` // want "counter field Sim.Sparse carries json tag"
+}
+
+// Sub is the reflect-based delta with the contractual signature.
+func Sub(a, b *Sim) Sim { return Sim{Cycles: a.Cycles - b.Cycles} }

@@ -1,0 +1,9 @@
+// Package stats2 is the statscomplete golden for a missing delta path:
+// clean counters but no Sub function.
+package stats2
+
+// Sim has no Sub: warmup exclusion silently breaks.
+type Sim struct { // want "delta function Sub missing"
+	Cycles uint64
+	UOps   uint64
+}

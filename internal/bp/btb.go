@@ -40,12 +40,14 @@ func NewBTB(entries, assoc int) *BTB {
 	return b
 }
 
+//tvp:hotpath
 func (b *BTB) set(pc uint64) ([]btbEntry, uint64) {
 	idx := pc >> 2 & b.setMask
 	return b.sets[idx], pc >> 2 / (b.setMask + 1)
 }
 
 // Lookup returns the stored target for pc, if present.
+//tvp:hotpath
 func (b *BTB) Lookup(pc uint64) (target uint64, ok bool) {
 	set, tag := b.set(pc)
 	for i := range set {
@@ -59,6 +61,7 @@ func (b *BTB) Lookup(pc uint64) (target uint64, ok bool) {
 }
 
 // Insert records pc → target, evicting the LRU way on conflict.
+//tvp:hotpath
 func (b *BTB) Insert(pc, target uint64) {
 	set, tag := b.set(pc)
 	b.clock++

@@ -113,6 +113,7 @@ func New(name string, cfg config.CacheConfig, next Level, pf Prefetcher) *Cache 
 
 func (c *Cache) lineAddr(addr uint64) uint64 { return addr >> c.lineBits }
 
+//tvp:hotpath
 func (c *Cache) lookup(la uint64) (*line, []line) {
 	set := c.sets[la&c.setMask]
 	tag := la // store the full line address as the tag; simple and exact
@@ -127,6 +128,7 @@ func (c *Cache) lookup(la uint64) (*line, []line) {
 // Access implements Level for demand and prefetch requests arriving at
 // this cache. The returned cycle includes this level's load-to-use
 // latency on a hit, or the full fill path on a miss.
+//tvp:hotpath
 func (c *Cache) Access(addr uint64, cycle uint64, write, prefetch bool) uint64 {
 	la := c.lineAddr(addr)
 	c.clock++
@@ -194,6 +196,7 @@ func (c *Cache) Prefetch(addr uint64, cycle uint64) {
 
 // fill handles a demand miss: MSHR merge/allocate, request from next
 // level, victim writeback, line install.
+//tvp:hotpath
 func (c *Cache) fill(la, addr, cycle uint64, write, prefetch bool, set []line) uint64 {
 	// MSHR merge: a fill for this line is already in flight.
 	for i := range c.mshrs {

@@ -1,0 +1,52 @@
+package config
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// The experiment run cache keys on Fingerprint(), which renders Machine
+// with %#v. That rendering is only a complete, deterministic
+// serialization while every field reachable from Machine is a value
+// type (or a slice/array of value types): pointers render as addresses,
+// maps iterate in random order, and funcs/channels render as pointers.
+// Any such field silently poisons cache keying.
+//
+// tvplint's fingerprintsafe analyzer enforces this statically at lint
+// time; this init-time guard enforces the same invariant dynamically so
+// a violation also fails fast in any binary or test that links config,
+// even when run outside `make check`.
+func init() {
+	if err := fingerprintable(reflect.TypeOf(Machine{})); err != nil {
+		panic("config.Machine is not fingerprint-safe: " + err.Error())
+	}
+}
+
+// fingerprintable reports whether every field reachable from t renders
+// deterministically and completely under %#v. It mirrors the recursive
+// walk in internal/analysis/fingerprintsafe.go.
+func fingerprintable(t reflect.Type) error {
+	return fpWalk(t, t.Name(), map[reflect.Type]bool{})
+}
+
+func fpWalk(t reflect.Type, path string, seen map[reflect.Type]bool) error {
+	switch t.Kind() {
+	case reflect.Pointer, reflect.Map, reflect.Func, reflect.Chan,
+		reflect.Interface, reflect.UnsafePointer:
+		return fmt.Errorf("%s has non-value kind %s", path, t.Kind())
+	case reflect.Slice, reflect.Array:
+		return fpWalk(t.Elem(), path+"[]", seen)
+	case reflect.Struct:
+		if seen[t] {
+			return nil
+		}
+		seen[t] = true
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if err := fpWalk(f.Type, path+"."+f.Name, seen); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package config
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestMachineFingerprintable re-asserts the init-time invariant so a
+// violation shows up as a named test failure, not just an init panic.
+func TestMachineFingerprintable(t *testing.T) {
+	if err := fingerprintable(reflect.TypeOf(Machine{})); err != nil {
+		t.Fatalf("Machine must stay %%#v-fingerprintable: %v", err)
+	}
+}
+
+// TestFingerprintableRejects checks the guard actually detects each
+// non-value kind, including ones nested behind structs and slices.
+func TestFingerprintableRejects(t *testing.T) {
+	type inner struct {
+		P *int
+	}
+	cases := []struct {
+		name string
+		typ  reflect.Type
+		want string
+	}{
+		{"map", reflect.TypeOf(struct{ M map[string]int }{}), ".M has non-value kind map"},
+		{"pointer", reflect.TypeOf(struct{ P *int }{}), ".P has non-value kind ptr"},
+		{"func", reflect.TypeOf(struct{ F func() }{}), ".F has non-value kind func"},
+		{"chan", reflect.TypeOf(struct{ C chan int }{}), ".C has non-value kind chan"},
+		{"interface", reflect.TypeOf(struct{ I any }{}), ".I has non-value kind interface"},
+		{"slice elem", reflect.TypeOf(struct{ S []*int }{}), ".S[] has non-value kind ptr"},
+		{"nested struct", reflect.TypeOf(struct{ In inner }{}), ".In.P has non-value kind ptr"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := fingerprintable(c.typ)
+			if err == nil {
+				t.Fatalf("fingerprintable(%s) accepted a non-value field", c.typ)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}

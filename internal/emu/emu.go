@@ -79,6 +79,7 @@ func (e *Emulator) setFloat(r isa.Reg, f float64) uint64 {
 }
 
 // op2 resolves the second operand of a two-source ALU instruction.
+//tvp:hotpath
 func (e *Emulator) op2(in *isa.Inst) uint64 {
 	if in.UseImm {
 		v := uint64(in.Imm)
@@ -183,6 +184,7 @@ func logicFlags(res uint64, w bool) (f isa.Flags) {
 
 // ea computes the effective address and the base-update value of a memory
 // instruction.
+//tvp:hotpath
 func (e *Emulator) ea(in *isa.Inst) (ea, baseUpdate uint64) {
 	base := e.reg(in.Rn)
 	switch in.Mode {
@@ -201,6 +203,7 @@ func (e *Emulator) ea(in *isa.Inst) (ea, baseUpdate uint64) {
 
 // Step executes the next instruction and fills d with its dynamic record.
 // It returns false when the program has halted (d is then invalid).
+//tvp:hotpath
 func (e *Emulator) Step(d *DynInst) bool {
 	if e.halted {
 		return false

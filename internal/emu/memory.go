@@ -44,6 +44,7 @@ func NewMemory() *Memory {
 
 // readPage returns the page containing addr for reading, or nil if
 // unmapped.
+//tvp:hotpath
 func (m *Memory) readPage(addr uint64) *[pageSize]byte {
 	pn := addr >> pageShift
 	if pn+1 == m.lastReadPN {
@@ -59,6 +60,7 @@ func (m *Memory) readPage(addr uint64) *[pageSize]byte {
 
 // writePage returns a privately owned page containing addr, allocating or
 // copying a snapshot-shared page as needed.
+//tvp:hotpath
 func (m *Memory) writePage(addr uint64) *[pageSize]byte {
 	pn := addr >> pageShift
 	if pn+1 == m.lastWritePN {
@@ -66,10 +68,12 @@ func (m *Memory) writePage(addr uint64) *[pageSize]byte {
 	}
 	p := m.pages[pn]
 	if p == nil {
+		//tvplint:ignore hotpathalloc first-touch page fault: one allocation per 4KB page mapped, amortized over thousands of stores
 		p = new([pageSize]byte)
 		m.pages[pn] = p
 	} else if m.cow != nil {
 		if _, shared := m.cow[pn]; shared {
+			//tvplint:ignore hotpathalloc COW break: one copy per shared page per restored checkpoint, amortized over the whole run
 			priv := new([pageSize]byte)
 			*priv = *p
 			m.pages[pn] = priv
@@ -92,6 +96,7 @@ func (m *Memory) invalidateCache() {
 }
 
 // LoadByte returns the byte at addr.
+//tvp:hotpath
 func (m *Memory) LoadByte(addr uint64) byte {
 	p := m.readPage(addr)
 	if p == nil {
@@ -101,12 +106,14 @@ func (m *Memory) LoadByte(addr uint64) byte {
 }
 
 // StoreByte stores b at addr.
+//tvp:hotpath
 func (m *Memory) StoreByte(addr uint64, b byte) {
 	m.writePage(addr)[addr&pageMask] = b
 }
 
 // Read returns the little-endian unsigned value of the given size (1, 2, 4
 // or 8 bytes) at addr. Accesses may straddle page boundaries.
+//tvp:hotpath
 func (m *Memory) Read(addr uint64, size uint8) uint64 {
 	off := addr & pageMask
 	if off <= pageSize-uint64(size) {
@@ -133,6 +140,7 @@ func (m *Memory) Read(addr uint64, size uint8) uint64 {
 }
 
 // Write stores the low size bytes of v at addr, little-endian.
+//tvp:hotpath
 func (m *Memory) Write(addr uint64, v uint64, size uint8) {
 	off := addr & pageMask
 	if off <= pageSize-uint64(size) {

@@ -152,6 +152,7 @@ type sweepKey struct {
 
 // NewSweepLog returns an empty log; the sweep wall clock starts now.
 func NewSweepLog() *SweepLog {
+	//tvplint:ignore nondet sweep wall-clock is host-side throughput metadata (WallSeconds/MIPS), not simulated state
 	return &SweepLog{start: time.Now(), byKey: make(map[sweepKey]int)}
 }
 
@@ -201,6 +202,7 @@ func (l *SweepLog) Records() []*RunRecord {
 func (l *SweepLog) Sweep(cacheHits, cacheMisses uint64) SweepRecord {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	//tvplint:ignore nondet sweep wall-clock is host-side throughput metadata (WallSeconds/MIPS), not simulated state
 	wall := time.Since(l.start).Seconds()
 	rec := SweepRecord{
 		Schema:       SweepSchema,

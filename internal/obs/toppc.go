@@ -58,9 +58,13 @@ func (t *TopPC) Touch(pc uint64, in *isa.Inst) {
 	// Space-saving eviction. The O(cap) minimum scan only runs when a
 	// full table meets a new PC; attribution events are per-
 	// kiloinstruction rare, so this stays off the simulator's hot path.
+	// The lowest-PC tie-break makes the victim independent of map
+	// iteration order, so attribution tables stay bit-identical across
+	// runs even when the table overflows.
 	var min *pcEntry
+	//tvplint:ignore detmap min-scan with total order (count, then pc) picks the same victim under any iteration order
 	for _, e := range t.m {
-		if min == nil || e.count < min.count {
+		if min == nil || e.count < min.count || (e.count == min.count && e.pc < min.pc) {
 			min = e
 		}
 	}

@@ -9,6 +9,7 @@ import (
 // load/store queues), in program order, after the rename-to-dispatch
 // delay. Rename-eliminated µops never dispatch (§4.1: they consume
 // neither a scheduler entry nor an issue slot).
+//tvp:hotpath
 func (c *Core) dispatch() {
 	for n := 0; n < c.cfg.DispatchWidth && c.dispCnt > 0; n++ {
 		u := &c.rob[c.dispPtr]
@@ -35,6 +36,7 @@ func (c *Core) dispatch() {
 		}
 		u.state = stDispatched
 		c.trace(u, StageDispatch)
+		//tvplint:ignore hotpathalloc IQ capacity is preallocated at IQSize in NewFromEmulator and dispatch stalls on IQFull, so this append never grows
 		c.iq = append(c.iq, u)
 		c.st.IQAdded++
 		if u.isLoad {
@@ -50,6 +52,7 @@ func (c *Core) dispatch() {
 
 // srcsReady reports whether all register, flag and memory-dependence
 // sources of a µop are available this cycle.
+//tvp:hotpath
 func (c *Core) srcsReady(u *uop) bool {
 	for i := 0; i < u.nsrc; i++ {
 		s := u.srcs[i]
@@ -73,6 +76,7 @@ func (c *Core) srcsReady(u *uop) bool {
 
 // storePending reports whether the store with the given dynamic sequence
 // number is still in the store queue without having generated its address.
+//tvp:hotpath
 func (c *Core) storePending(seq uint64) bool {
 	for _, s := range c.sq.live() {
 		if s.seq == seq {
@@ -103,6 +107,7 @@ func (c *Core) fuInit() {
 }
 
 // allocFU finds a free functional unit able to execute the class.
+//tvp:hotpath
 func (c *Core) allocFU(class isa.Class) int {
 	bit := uint32(1) << uint(class)
 	for i := range c.cfg.FUs {
@@ -121,6 +126,7 @@ func (c *Core) allocFU(class isa.Class) int {
 // issue selects up to IssueWidth ready µops from the IQ, oldest first,
 // assigns functional units, charges PRF reads, and computes completion
 // times (including cache access for loads).
+//tvp:hotpath
 func (c *Core) issue() {
 	c.fuInit()
 	width := c.cfg.IssueWidth
@@ -146,6 +152,7 @@ func (c *Core) issue() {
 }
 
 // doIssue executes the timing of one µop.
+//tvp:hotpath
 func (c *Core) doIssue(u *uop, fu int) {
 	u.state = stIssued
 	u.fu = fu
@@ -192,9 +199,11 @@ func (c *Core) doIssue(u *uop, fu int) {
 			c.intReadyAt[u.dst] = u.readyCycle
 		}
 	}
+	//tvplint:ignore hotpathalloc execL capacity is preallocated at ROBSize in NewFromEmulator and in-flight µops cannot exceed the ROB, so this append never grows
 	c.execL = append(c.execL, u)
 }
 
+//tvp:hotpath
 func (c *Core) classLatency(u *uop) uint64 {
 	m := c.cfg
 	switch u.class {
@@ -223,6 +232,7 @@ func (c *Core) classLatency(u *uop) uint64 {
 
 // issueLoad performs address generation, store-to-load forwarding, and
 // the cache access.
+//tvp:hotpath
 func (c *Core) issueLoad(u *uop) {
 	u.executedMem = true
 	agu := c.cycle + 1
@@ -265,6 +275,7 @@ func (c *Core) issueLoad(u *uop) {
 // load that already executed with an overlapping address read stale data,
 // so the pipeline flushes at that load and the store sets learn the pair
 // (§Table 2 Store Sets row).
+//tvp:hotpath
 func (c *Core) issueStore(u *uop) {
 	u.executedMem = true
 	u.readyCycle = c.cycle + uint64(c.cfg.StoreLat)
@@ -282,6 +293,7 @@ func (c *Core) issueStore(u *uop) {
 
 // complete retires execution: validation of value predictions, branch
 // resolution (fetch resume), and PRF write accounting.
+//tvp:hotpath
 func (c *Core) complete() {
 	c.flushedThisCycle = false
 	for i := 0; i < len(c.execL); {
@@ -322,6 +334,7 @@ func (c *Core) complete() {
 
 // validateVP checks a used prediction against the computed result. It
 // returns false when a flush occurred.
+//tvp:hotpath
 func (c *Core) validateVP(u *uop) bool {
 	p, _ := c.pred(u.seq)
 	actual := u.dyn.Result
@@ -375,6 +388,7 @@ func (c *Core) validateVP(u *uop) bool {
 // updating the committed RAT, training the value predictor from the
 // VP-tracking FIFO, performing store writebacks, and accumulating the
 // paper's per-category elimination statistics.
+//tvp:hotpath
 func (c *Core) commit() {
 	for n := 0; n < c.cfg.CommitWidth && c.robCnt > 0; n++ {
 		u := &c.rob[c.robHead]
@@ -436,6 +450,7 @@ func (c *Core) commit() {
 // commitMainStats accumulates per-instruction statistics at retirement of
 // the main µop: elimination categories (Fig. 4), VP coverage metrics
 // (§6.1), and value predictor training (§3.3: the FIFO drains at retire).
+//tvp:hotpath
 func (c *Core) commitMainStats(u *uop) {
 	in := u.dyn.Inst
 	if u.moveBlocked && !u.eliminated {
@@ -492,6 +507,7 @@ func (c *Core) commitMainStats(u *uop) {
 
 // syncMemStats copies cache/TLB/prefetch counters into the stats block so
 // snapshot subtraction (warmup exclusion) covers them.
+//tvp:hotpath
 func (c *Core) syncMemStats() {
 	c.st.L1IAccesses, c.st.L1IMisses = c.mem.L1I.Accesses, c.mem.L1I.Misses
 	c.st.L1DAccesses, c.st.L1DMisses = c.mem.L1D.Accesses, c.mem.L1D.Misses

@@ -169,6 +169,9 @@ func NewFromEmulator(cfg *config.Machine, e *emu.Emulator) *Core {
 	}
 	c.rob = make([]uop, cfg.ROBSize)
 	c.iq = make([]*uop, 0, cfg.IQSize)
+	// execL holds issued-but-incomplete µops, bounded by the ROB;
+	// preallocating keeps doIssue's append off the heap (hotpathalloc).
+	c.execL = make([]*uop, 0, cfg.ROBSize)
 	c.lq.buf = make([]*uop, 0, cfg.LQSize)
 	c.sq.buf = make([]*uop, 0, cfg.SQSize)
 	c.intReadyAt = make([]uint64, cfg.IntPRF)
@@ -251,6 +254,7 @@ func (c *Core) Run(warmup, maxInsts uint64) Result {
 }
 
 // step advances the machine by one cycle.
+//tvp:hotpath
 func (c *Core) step() {
 	c.complete()
 	c.commit()
@@ -293,6 +297,7 @@ func (c *Core) headState() string {
 // pred returns the fetch-time predictor record for seq; fresh reports
 // whether this is the first fetch of this dynamic instance (predictors
 // must only be queried and trained once per instance).
+//tvp:hotpath
 func (c *Core) pred(seq uint64) (p *predInfo, fresh bool) {
 	p = &c.predRing[seq&(emu.DefaultStreamCapacity-1)]
 	if p.seqPlus1 != seq+1 {

@@ -12,6 +12,7 @@ import (
 // (once per dynamic instance), enforces taken-branch and BTB-mistarget
 // bubbles, stalls behind mispredicted branches until they resolve, and
 // charges L1I/ITLB latency per fetched line.
+//tvp:hotpath
 func (c *Core) fetch() {
 	if c.haltSeen || c.cycle < c.fetchStallUntil || c.waitBranchSeq != 0 {
 		return
@@ -75,6 +76,7 @@ func (c *Core) fetch() {
 // conditional direction prediction (TAGE), target prediction (BTB, RAS,
 // indirect cache), global history maintenance for both TAGE and VTAGE, and
 // the value predictor probe.
+//tvp:hotpath
 func (c *Core) firstFetch(d *emu.DynInst, p *predInfo) {
 	in := d.Inst
 	switch {
@@ -143,6 +145,7 @@ func (c *Core) firstFetch(d *emu.DynInst, p *predInfo) {
 
 // decode moves instructions from the fetch queue to the µop queue,
 // cracking pre/post-index memory operations into two µops.
+//tvp:hotpath
 func (c *Core) decode() {
 	const dqCap = 32
 	for n := 0; n < c.cfg.DecodeWidth && c.fetchQ.len() > 0; n++ {
@@ -173,6 +176,7 @@ func (c *Core) decode() {
 // destinations through DSR idiom elimination, move elimination, 9-bit
 // idiom elimination, SpSR, value prediction, or a fresh physical register,
 // in that priority order. Renamed µops enter the ROB.
+//tvp:hotpath
 func (c *Core) renameStage() {
 	for n := 0; n < c.cfg.RenameWidth && c.decodeQ.len() > 0; n++ {
 		e := *c.decodeQ.front()
@@ -198,6 +202,7 @@ func (c *Core) renameStage() {
 }
 
 // renameUop fills one ROB entry.
+//tvp:hotpath
 func (c *Core) renameUop(u *uop, e dqEntry) {
 	defer c.trace(u, StageRename)
 	c.uSeqCtr++
@@ -306,6 +311,7 @@ func (c *Core) renameUop(u *uop, e dqEntry) {
 
 // renameBaseUpdate renames the address-increment µop of a pre/post-index
 // access: it reads the old base and writes a fresh physical register.
+//tvp:hotpath
 func (c *Core) renameBaseUpdate(u *uop, in *isa.Inst) {
 	base := c.ren.SrcInt(in.Rn)
 	if !base.Known {
@@ -324,6 +330,7 @@ func (c *Core) renameBaseUpdate(u *uop, in *isa.Inst) {
 
 // applyReduction retires a rename-time reduction: the µop completes at
 // rename, never dispatching to the IQ (§4.1).
+//tvp:hotpath
 func (c *Core) applyReduction(u *uop, in *isa.Inst, d rename.Decision) {
 	u.eliminated = true
 	u.elim = d
@@ -364,6 +371,7 @@ func (c *Core) applyReduction(u *uop, in *isa.Inst, d rename.Decision) {
 	}
 }
 
+//tvp:hotpath
 func (c *Core) defShared(u *uop, rd isa.Reg, n rename.Name, spec bool) {
 	if rd == isa.XZR {
 		return
@@ -378,6 +386,7 @@ func (c *Core) defShared(u *uop, rd isa.Reg, n rename.Name, spec bool) {
 // tryValuePredict applies the VP rename policy for a confident prediction
 // (§3.1/§3.2). The instruction still dispatches and executes so the
 // prediction can be validated in place at the functional unit (§3.3).
+//tvp:hotpath
 func (c *Core) tryValuePredict(u *uop, in *isa.Inst) {
 	if c.vpred == nil || !in.VPEligible() {
 		return
@@ -426,6 +435,7 @@ func (c *Core) tryValuePredict(u *uop, in *isa.Inst) {
 // collectSrcs gathers the physical-register sources a µop must wait for
 // (known value names, hardwired registers, and XZR never wait and never
 // read the PRF).
+//tvp:hotpath
 func (c *Core) collectSrcs(u *uop, in *isa.Inst, srcN, srcM rename.Operand) {
 	addInt := func(op rename.Operand) {
 		if op.Known {
@@ -503,6 +513,7 @@ func (c *Core) collectSrcs(u *uop, in *isa.Inst, srcN, srcM rename.Operand) {
 
 // renameDest allocates a fresh physical destination for a non-eliminated,
 // non-value-predicted µop.
+//tvp:hotpath
 func (c *Core) renameDest(u *uop, in *isa.Inst) {
 	if isa.IsFP(in.Op) {
 		p := c.ren.AllocFP()
@@ -541,6 +552,7 @@ func (c *Core) renameDest(u *uop, in *isa.Inst) {
 
 // attachVPTraining records the prediction lookup so the commit stage can
 // train the predictor through the VP-tracking FIFO (§3.3).
+//tvp:hotpath
 func (c *Core) attachVPTraining(u *uop, in *isa.Inst) {
 	if c.vpred == nil || u.kind != isa.UOpMain || !in.VPEligible() {
 		return
