@@ -2,13 +2,19 @@
 #
 #   make check        # what CI runs: vet, lint, build, race on the
 #                     # concurrency-sensitive packages, full test suite,
-#                     # bench-guard
+#                     # fuzz-smoke, bench-guard
 #   make lint         # run tvplint (see internal/analysis) over the module
 #   make bench        # the E1–E14 benchmark sweep + simulator throughput
 #   make bench-guard  # fail if hot-path allocations regress past baseline
+#   make fuzz-smoke   # short differential-fuzzing pass per native target
 #   make report       # regenerate the full EXPERIMENTS.md report
 
 GO ?= go
+
+# Per-target budget for the fuzz smoke pass. The committed seed corpus
+# under internal/fuzzgen/testdata/fuzz is always replayed first (also by
+# plain `go test`), then each target explores new inputs for this long.
+FUZZ_TIME ?= 10s
 
 # Allocation ceiling for BenchmarkSimThroughput with telemetry detached
 # (allocs/op at -benchtime 30x). The recorded baseline is 280
@@ -19,11 +25,11 @@ GO ?= go
 # hot path, so this number must not grow.
 BENCH_GUARD_ALLOCS ?= 285
 
-.PHONY: check vet lint build test race bench bench-guard report
+.PHONY: check vet lint build test race bench bench-guard fuzz-smoke report
 
 # lint runs before test so an invariant violation fails fast, before the
 # (much slower) full suite.
-check: vet lint build race test bench-guard
+check: vet lint build race test fuzz-smoke bench-guard
 
 vet:
 	$(GO) vet ./...
@@ -59,6 +65,15 @@ bench-guard:
 		echo "bench-guard: FAIL — $$allocs allocs/op exceeds baseline $(BENCH_GUARD_ALLOCS)" >&2; exit 1; \
 	fi; \
 	echo "bench-guard: OK — $$allocs allocs/op (ceiling $(BENCH_GUARD_ALLOCS))"
+
+# Differential fuzzing smoke: go test accepts one -fuzz target per
+# invocation, so each native target gets its own short exploration run.
+# FuzzCrossCheck drives random programs through the pipeline against the
+# shadow-emulator oracle; FuzzMetamorphic asserts timing-configuration
+# changes never alter architectural results.
+fuzz-smoke:
+	$(GO) test ./internal/fuzzgen -run='^$$' -fuzz='^FuzzCrossCheck$$' -fuzztime=$(FUZZ_TIME)
+	$(GO) test ./internal/fuzzgen -run='^$$' -fuzz='^FuzzMetamorphic$$' -fuzztime=$(FUZZ_TIME)
 
 report:
 	$(GO) run ./cmd/tvpreport -cachestats

@@ -46,12 +46,12 @@ func parseVP(s string) (tvp.VPMode, error) {
 // runCompare runs baseline, MVP, TVP and GVP on each workload and prints
 // per-benchmark speedups plus coverage, mirroring the paper's Fig. 3.
 // It returns the number of failed runs.
-func runCompare(names []string, spsr bool, warm, insts uint64) int {
+func runCompare(names []string, spsr bool, warm, insts uint64, xcheck bool) int {
 	modes := []tvp.VPMode{tvp.VPOff, tvp.MVP, tvp.TVP, tvp.GVP}
 	var opts []tvp.Options
 	for _, n := range names {
 		for _, m := range modes {
-			opts = append(opts, tvp.Options{Workload: n, VP: m, SpSR: spsr && m != tvp.VPOff, Warmup: warm, MaxInsts: insts})
+			opts = append(opts, tvp.Options{Workload: n, VP: m, SpSR: spsr && m != tvp.VPOff, Warmup: warm, MaxInsts: insts, CrossCheck: xcheck})
 		}
 	}
 	results, errs := tvp.RunMany(opts)
@@ -112,8 +112,9 @@ func pow(x, y float64) float64 {
 // trace when konataPath is non-empty. With jsonOut it writes one
 // obs.RunRecord per workload as NDJSON on stdout; otherwise it prints
 // the usual human table rows. Returns the number of failed runs.
-func runInstrumented(names []string, mode tvp.VPMode, spsr bool, warm, insts uint64, interval uint64, topk int, jsonOut bool, konataPath string) int {
+func runInstrumented(names []string, mode tvp.VPMode, spsr bool, warm, insts uint64, interval uint64, topk int, jsonOut bool, konataPath string, xcheck bool) int {
 	cfg := config.Default().WithVP(mode).WithSpSR(spsr)
+	cfg.CrossCheck = xcheck
 	enc := json.NewEncoder(os.Stdout)
 	if !jsonOut {
 		printHeader()
@@ -193,6 +194,7 @@ func main() {
 		topk    = flag.Int("topk", obs.DefaultTopK, "entries per per-PC attribution table in -json records")
 		cpuprof = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		xcheck  = flag.Bool("crosscheck", false, "arm the shadow-emulator retire checker (gem5-style differential validation; panics on the first divergence)")
 	)
 	flag.Parse()
 
@@ -242,7 +244,7 @@ func main() {
 		if !*all && *wl != "" {
 			names = []string{*wl}
 		}
-		if runCompare(names, *spsr, *warm, *insts) > 0 {
+		if runCompare(names, *spsr, *warm, *insts, *xcheck) > 0 {
 			exitCode = 1
 		}
 		return
@@ -282,7 +284,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tvpsim: -konata needs a single -workload")
 			os.Exit(2)
 		}
-		if runInstrumented(names, mode, *spsr, *warm, *insts, *intervl, *topk, *jsonOut, *konata) > 0 {
+		if runInstrumented(names, mode, *spsr, *warm, *insts, *intervl, *topk, *jsonOut, *konata, *xcheck) > 0 {
 			exitCode = 1
 		}
 		return
@@ -290,7 +292,7 @@ func main() {
 
 	opts := make([]tvp.Options, len(names))
 	for i, n := range names {
-		opts[i] = tvp.Options{Workload: n, VP: mode, SpSR: *spsr, Warmup: *warm, MaxInsts: *insts}
+		opts[i] = tvp.Options{Workload: n, VP: mode, SpSR: *spsr, Warmup: *warm, MaxInsts: *insts, CrossCheck: *xcheck}
 	}
 	results, errs := tvp.RunMany(opts)
 

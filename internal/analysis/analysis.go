@@ -139,7 +139,7 @@ func runOnPackage(fset *token.FileSet, pkg *Package, analyzers []*Analyzer) ([]D
 			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 		}
 	}
-	idx := buildSuppressions(fset, pkg.Files)
+	idx := buildSuppressions(fset, append(append([]*ast.File(nil), pkg.Files...), pkg.TestFiles...))
 	kept := diags[:0]
 	for _, d := range diags {
 		if !idx.suppressed(fset, d) {

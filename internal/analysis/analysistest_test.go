@@ -71,7 +71,7 @@ func collectWants(t *testing.T, loader *Loader) []want {
 	t.Helper()
 	var wants []want
 	for _, pkg := range loader.Packages() {
-		for _, f := range pkg.Files {
+		for _, f := range append(append([]*ast.File(nil), pkg.Files...), pkg.TestFiles...) {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
 					wants = append(wants, parseWant(t, loader.Fset, c)...)

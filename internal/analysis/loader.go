@@ -15,13 +15,18 @@ import (
 )
 
 // Package is one parsed and type-checked package of the module under
-// analysis (non-test files only, matching what ships in binaries).
+// analysis. Files holds the non-test files, matching what ships in
+// binaries; those are type-checked. TestFiles holds the package's
+// _test.go files parsed syntax-only (they may import packages outside
+// the loaded graph), for analyzers with syntactic test-scope checks —
+// the nondet guarantee extends to test generators and helpers.
 type Package struct {
-	Path  string // import path ("repro/internal/config")
-	Dir   string
-	Files []*ast.File
-	Types *types.Package
-	Info  *types.Info
+	Path      string // import path ("repro/internal/config")
+	Dir       string
+	Files     []*ast.File
+	TestFiles []*ast.File
+	Types     *types.Package
+	Info      *types.Info
 }
 
 // Loader parses and type-checks every package under a module root using
@@ -138,7 +143,11 @@ func (l *Loader) Load(path string) (*Package, error) {
 	if len(typeErrs) > 0 {
 		return nil, fmt.Errorf("type-checking %s: %w", path, typeErrs[0])
 	}
-	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	testFiles, err := l.parseTestFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	p := &Package{Path: path, Dir: dir, Files: files, TestFiles: testFiles, Types: tpkg, Info: info}
 	l.pkgs[path] = p
 	return p, nil
 }
@@ -239,6 +248,35 @@ func isBuildableGoFile(e os.DirEntry) bool {
 	n := e.Name()
 	return !e.IsDir() && strings.HasSuffix(n, ".go") &&
 		!strings.HasSuffix(n, "_test.go") && !strings.HasPrefix(n, ".") && !strings.HasPrefix(n, "_")
+}
+
+func isTestGoFile(e os.DirEntry) bool {
+	n := e.Name()
+	return !e.IsDir() && strings.HasSuffix(n, "_test.go") &&
+		!strings.HasPrefix(n, ".") && !strings.HasPrefix(n, "_")
+}
+
+// parseTestFiles parses the directory's _test.go files for syntax only:
+// they are not type-checked (test files may import external test
+// dependencies and _test packages outside the loaded graph), so analyzers
+// consuming them must work from the AST alone.
+func (l *Loader) parseTestFiles(dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if !isTestGoFile(e) {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
 }
 
 func (l *Loader) parseDir(dir string) ([]*ast.File, error) {

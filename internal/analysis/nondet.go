@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"path/filepath"
+	"strconv"
 	"strings"
 )
 
@@ -36,6 +37,12 @@ var envFuncs = map[string]bool{"Getenv": true, "LookupEnv": true, "Environ": tru
 // (os.Getenv & co.). Any of these makes a run's outputs depend on the
 // host instead of the configuration, breaking the bit-identical-output
 // guarantee and silently invalidating simcache hits.
+//
+// The same guarantee extends to _test.go files of core packages: test
+// program generators and helpers must draw randomness from seeded xrand
+// so every failure reproduces from its seed. Test files are parsed
+// syntax-only, so that leg of the check resolves time/os/math-rand
+// references through the file's import table instead of type information.
 func NewNondet(cfg NondetConfig) *Analyzer {
 	a := &Analyzer{
 		Name: "nondet",
@@ -79,9 +86,68 @@ func NewNondet(cfg NondetConfig) *Analyzer {
 				return true
 			})
 		}
+		for _, file := range pass.Pkg.TestFiles {
+			base := filepath.Base(pass.Fset.Position(file.Package).Filename)
+			if contains(cfg.AllowFiles, base) {
+				continue
+			}
+			checkTestFile(pass, file)
+		}
 		return nil
 	}
 	return a
+}
+
+// checkTestFile applies the nondet rules to one syntactically parsed
+// _test.go file. Without type information, package references are
+// resolved through the import table: an import of math/rand is flagged at
+// the import site, and selector expressions are matched against the local
+// names the time and os packages were imported under.
+func checkTestFile(pass *Pass, file *ast.File) {
+	local := map[string]string{} // local name → import path, for the packages of interest
+	for _, imp := range file.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		switch path {
+		case "math/rand", "math/rand/v2":
+			pass.Reportf(imp.Pos(), "math/rand imported in test file of simulator-core package %s: test generators must reproduce from a seed; use internal/xrand", pass.Pkg.Path)
+			continue
+		case "time", "os":
+		default:
+			continue
+		}
+		name := filepath.Base(path)
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		local[name] = path
+	}
+	if len(local) == 0 {
+		return
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		switch local[id.Name] {
+		case "time":
+			if timeFuncs[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(), "wall clock time.%s in test file of simulator-core package %s: seeded tests must not depend on host timing", sel.Sel.Name, pass.Pkg.Path)
+			}
+		case "os":
+			if envFuncs[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(), "environment read os.%s in test file of simulator-core package %s: host environment must not influence test behavior", sel.Sel.Name, pass.Pkg.Path)
+			}
+		}
+		return true
+	})
 }
 
 func hasAnyPrefix(s string, prefixes []string) bool {

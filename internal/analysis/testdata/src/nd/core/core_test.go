@@ -1,0 +1,28 @@
+// Test-file golden for the nondet analyzer's syntactic test-scope pass:
+// the determinism guarantee extends to _test.go generators and helpers.
+package core
+
+import (
+	"math/rand" // want "math/rand imported in test file of simulator-core package nd/core"
+	"os"
+	stdtime "time"
+)
+
+// genValue draws from math/rand: test programs must reproduce from a seed.
+func genValue() int { return rand.Intn(6) }
+
+// elapsed reads the wall clock through a renamed import: the syntactic
+// pass resolves the local name through the import table.
+func elapsed() int64 { return stdtime.Now().Unix() } // want "wall clock time.Now in test file of simulator-core package nd/core"
+
+// fromEnv leaks host environment into test behavior.
+func fromEnv() string { return os.Getenv("SEED") } // want "environment read os.Getenv in test file of simulator-core package nd/core"
+
+// formatted is fine: os selectors outside the env family do not report.
+func formatted() bool { return os.IsNotExist(nil) }
+
+// suppressedClock carries a justified suppression, honored in test files.
+func suppressedClock() stdtime.Time {
+	//tvplint:ignore nondet golden exercising suppression handling inside a test file
+	return stdtime.Now()
+}

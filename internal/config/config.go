@@ -116,6 +116,12 @@ type VPConfig struct {
 	// every 1024 correct trainings, so quiet phases pay a short window
 	// and misprediction storms back off exponentially.
 	DynamicSilence bool
+	// NeverConfident forces every prediction's FPC confidence to read as
+	// unsaturated, so the predictor keeps training but the pipeline never
+	// uses a prediction. A machine with VP enabled and NeverConfident set
+	// must produce timing bit-identical to VP off (modulo the train-only
+	// counter) — the differential harness's metamorphic invariant.
+	NeverConfident bool
 	// Seed seeds the FPC's probabilistic counter PRNG.
 	Seed uint64
 }
@@ -190,6 +196,15 @@ type Machine struct {
 
 	// Misc.
 	MemOrderFlushPenalty int
+
+	// CrossCheck enables the shadow-emulator retire checker: the core
+	// steps a second functional emulator in lockstep at retirement and
+	// panics with a *pipeline.Divergence the moment the retired
+	// architectural state (PC, result, flags, memory value, or a used
+	// value prediction) departs from the oracle. Purely diagnostic: it
+	// never influences timing, and costs one nil-check per committed µop
+	// when disabled.
+	CrossCheck bool
 }
 
 // Class bit helpers for FuncUnit masks. These mirror isa.Class values but

@@ -1,0 +1,62 @@
+package emu
+
+import "sort"
+
+// FNV-1a constants (64-bit).
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+func fnvU64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ v&0xff) * fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// Hash returns a deterministic FNV-1a digest of the semantic memory
+// contents. Pages are visited in ascending page-number order, and
+// all-zero pages are skipped — an all-zero page reads identically to an
+// unmapped one, so the digest depends only on observable memory contents,
+// not on which addresses happened to be touched.
+func (m *Memory) Hash() uint64 {
+	pns := make([]uint64, 0, len(m.pages))
+	for pn := range m.pages {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	var zero [pageSize]byte
+	h := uint64(fnvOffset)
+	for _, pn := range pns {
+		p := m.pages[pn]
+		if *p == zero {
+			continue
+		}
+		h = fnvU64(h, pn)
+		for _, b := range p {
+			h = (h ^ uint64(b)) * fnvPrime
+		}
+	}
+	return h
+}
+
+// ArchHash digests the complete architectural state — integer and FP
+// registers, NZCV, the next PC, and semantic memory contents. Two
+// emulators that executed the same program to the same point hash
+// equally; the differential harness uses this to assert that timing-model
+// configuration changes never leak into architecture.
+func (e *Emulator) ArchHash() uint64 {
+	h := uint64(fnvOffset)
+	for _, v := range e.X {
+		h = fnvU64(h, v)
+	}
+	for _, v := range e.D {
+		h = fnvU64(h, v)
+	}
+	h = fnvU64(h, uint64(e.Flags))
+	h = fnvU64(h, uint64(e.pcIdx))
+	h = fnvU64(h, e.Mem.Hash())
+	return h
+}

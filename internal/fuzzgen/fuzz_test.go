@@ -1,0 +1,161 @@
+package fuzzgen
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/emu"
+	"repro/internal/pipeline"
+	"repro/internal/prog"
+)
+
+// maxFuzzInsts caps committed instructions per pipeline run so a mutated
+// program that loses its loop exit still returns promptly.
+const maxFuzzInsts = 400000
+
+// pickConfig maps a fuzz-provided byte onto one of the machine
+// configurations worth differential-testing: every VP flavor, SpSR,
+// retire-time validation, and shrunken structures that force flushes,
+// replays and structural stalls the big default machine rarely sees.
+func pickConfig(k byte) *config.Machine {
+	switch k % 8 {
+	case 0:
+		return config.Default()
+	case 1:
+		return config.Default().WithVP(config.MVP)
+	case 2:
+		return config.Default().WithVP(config.TVP)
+	case 3:
+		return config.Default().WithVP(config.GVP)
+	case 4:
+		return config.Default().WithVP(config.TVP).WithSpSR(true)
+	case 5:
+		c := config.Default().WithVP(config.TVP).WithSpSR(true)
+		c.VP.ValidateAtRetire = true
+		c.VP.FPCInvProb = 1 // deterministic fast confidence: maximal VP traffic
+		return c
+	case 6:
+		c := config.Default().WithVP(config.GVP)
+		c.L1D = config.CacheConfig{SizeBytes: 8 << 10, Assoc: 2, LineBytes: 64, LoadToUse: 4, MSHRs: 8}
+		c.L2 = config.CacheConfig{SizeBytes: 64 << 10, Assoc: 4, LineBytes: 64, LoadToUse: 12, MSHRs: 16}
+		c.StridePrefetch = false
+		c.AMPMPrefetch = false
+		return c
+	default:
+		c := config.Default().WithVP(config.TVP)
+		c.VP.DynamicSilence = true
+		c.VP.FPCInvProb = 1
+		c.ROBSize = 64
+		c.IQSize = 24
+		c.LQSize = 16
+		c.SQSize = 16
+		return c
+	}
+}
+
+// FuzzCrossCheck is the core differential target: generate a random
+// program from the seed, run it through the pipeline under a fuzz-chosen
+// configuration with the shadow-emulator retire checker armed, and fail
+// with a minimized reproducible listing on any divergence.
+func FuzzCrossCheck(f *testing.F) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		f.Add(seed, byte(seed-1))
+	}
+	f.Fuzz(func(t *testing.T, seed uint64, cfgPick byte) {
+		p := Generate(seed)
+		cfg := pickConfig(cfgPick)
+		d, err := Diverges(cfg, p, maxFuzzInsts)
+		if err != nil {
+			t.Fatalf("seed %#x cfg %d: %v\n%s", seed, cfgPick%8, err, Listing(p))
+		}
+		if d != nil {
+			min, md := MinimizeDivergence(cfg, p, maxFuzzInsts)
+			t.Fatalf("seed %#x cfg %d: divergence %v\nminimized reproduction:\n%s",
+				seed, cfgPick%8, md, Listing(min))
+		}
+	})
+}
+
+// runArch runs the program to completion under cfg with the retire checker
+// armed and returns the committed-instruction count plus the final
+// architectural state digest.
+func runArch(t *testing.T, cfg *config.Machine, p *prog.Program) (uint64, uint64) {
+	t.Helper()
+	c := cfg.Clone()
+	c.CrossCheck = true
+	e := emu.New(p)
+	res := pipeline.NewFromEmulator(c, e).Run(0, maxFuzzInsts)
+	if !res.Halted {
+		t.Fatalf("config %s: did not halt within %d instructions", c.Fingerprint()[:12], uint64(maxFuzzInsts))
+	}
+	// The pipeline consumes HALT at fetch without retiring it, so the
+	// emulator has executed exactly one instruction more than committed.
+	if res.Committed+1 != e.Executed() {
+		t.Fatalf("config %s: committed %d+1 != executed %d", c.Fingerprint()[:12], res.Committed, e.Executed())
+	}
+	return res.Committed, e.ArchHash()
+}
+
+// mutate applies one timing-only configuration change. By construction
+// none of these may alter architectural behavior: the metamorphic
+// invariant is that the retired-instruction count and the final
+// architectural state stay bit-identical to the baseline run.
+func mutate(cfg *config.Machine, k byte) *config.Machine {
+	c := cfg.Clone()
+	switch k % 12 {
+	case 0:
+		c.L1D = config.CacheConfig{SizeBytes: 8 << 10, Assoc: 2, LineBytes: 64, LoadToUse: 4, MSHRs: 8}
+	case 1:
+		c.StridePrefetch = false
+		c.AMPMPrefetch = false
+	case 2:
+		c.BTBEntries = 64
+		c.BTBAssoc = 2
+		c.RASEntries = 2
+	case 3:
+		return c.WithVP(config.GVP)
+	case 4:
+		return c.WithVP(config.VPOff)
+	case 5:
+		return c.WithSpSR(true)
+	case 6:
+		c.VP.ValidateAtRetire = true
+	case 7:
+		c.VP.NeverConfident = true
+	case 8:
+		c.VP.SilenceCycles = 15
+		c.VP.DynamicSilence = true
+	case 9:
+		c.ROBSize = 64
+		c.IQSize = 24
+		c.LQSize = 16
+		c.SQSize = 16
+	case 10:
+		c.L2TLB = config.TLBConfig{Entries: 64, Assoc: 4, Latency: 4}
+	default:
+		c.BPTables = 4
+	}
+	return c
+}
+
+// FuzzMetamorphic checks the configuration-invariance property: any
+// timing-model change (caches, predictors, prefetchers, VP policy, window
+// sizes) leaves the retired-instruction count and the final architectural
+// state digest bit-identical.
+func FuzzMetamorphic(f *testing.F) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		f.Add(seed, byte(2*seed))
+	}
+	f.Fuzz(func(t *testing.T, seed uint64, mutPick byte) {
+		p := Generate(seed)
+		base := config.Default().WithVP(config.TVP)
+		base.VP.FPCInvProb = 1
+		wantN, wantH := runArch(t, base, p)
+		mut := mutate(base, mutPick)
+		gotN, gotH := runArch(t, mut, p)
+		if gotN != wantN || gotH != wantH {
+			t.Fatalf("seed %#x mutation %d: committed/archhash (%d, %#x) != baseline (%d, %#x)\n%s",
+				seed, mutPick%12, gotN, gotH, wantN, wantH, Listing(p))
+		}
+	})
+}

@@ -1,0 +1,440 @@
+// Package fuzzgen generates deterministic constrained-random programs over
+// the simulator's micro-ISA for differential testing: every generated
+// program self-terminates, and its complete architectural behavior is
+// defined by the functional emulator (internal/emu), which the pipeline's
+// shadow-emulator retire checker (config.Machine.CrossCheck) treats as the
+// oracle. All randomness flows through a single seeded xrand generator, so
+// one uint64 seed reproduces the program bit-exactly — the property the
+// native fuzz targets and the divergence minimizer rely on.
+//
+// The generator is constrained, not free-form: register roles, bounded
+// loop counters, masked memory indices and a private data arena guarantee
+// termination and keep every effective address inside allocated data,
+// while the block mix deliberately exercises the mechanisms the paper's
+// machinery speculates on — NZCV flag idioms feeding conditional selects,
+// SpSR-eligible Table 1 shapes, W/X width mixes, value-predictable
+// constant loads, all four addressing modes, calls, and indirect jumps.
+package fuzzgen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/xrand"
+)
+
+// Register roles. X0..X14 form the general pool; the remaining registers
+// have fixed jobs so generated addresses and trip counts stay bounded.
+const (
+	poolSize = 15      // X0..X14: random sources/destinations
+	regTmp   = isa.X15 // scratch for masked indices
+	regJump  = isa.X16 // indirect-branch target
+	regTbl   = isa.X17 // jump-table base
+	regDiv   = isa.X22 // small non-zero divisor
+	regConst = isa.X23 // read-only constant area base (VP-predictable loads)
+	regWalk  = isa.X25 // walking pointer for pre/post-index accesses
+	regArena = isa.X26 // read/write arena base
+	regOuter = isa.X27 // outer loop counter
+	regInner = isa.X28 // inner loop counter
+)
+
+const (
+	arenaSize = 4096 // bytes of read/write data
+	arenaMid  = arenaSize / 2
+	// maxDrift bounds the walking pointer's compile-time displacement from
+	// arena midpoint, keeping every pre/post-index access inside the arena
+	// (the pointer is re-centered at the top of every outer iteration).
+	maxDrift = arenaMid - 64
+)
+
+type gen struct {
+	r      *xrand.Rand
+	b      *prog.Builder
+	leaves []prog.Label
+	drift  int64 // net walking-pointer displacement within one outer iteration
+}
+
+// Generate builds the program for the given seed. The same seed always
+// yields an identical program.
+func Generate(seed uint64) *prog.Program {
+	g := &gen{r: xrand.New(seed), b: prog.NewBuilder(fmt.Sprintf("fuzz-%#016x", seed))}
+
+	constVals := make([]uint64, 8)
+	for i := range constVals {
+		constVals[i] = g.r.Uint64()
+	}
+	constArea := g.b.AllocWords(len(constVals), constVals...)
+	arena := g.b.Alloc(arenaSize, 8)
+
+	for i := 0; i < 1+g.r.Intn(3); i++ {
+		g.leaves = append(g.leaves, g.b.NewLabel())
+	}
+
+	// Init: random pool values, constants, bases, loop bound.
+	for r := isa.X0; r < isa.X0+poolSize; r++ {
+		g.b.MovImm(r, g.r.Uint64())
+	}
+	for r := isa.X18; r <= isa.X21; r++ {
+		g.b.MovImm(r, g.r.Uint64())
+	}
+	g.b.MovImm(regDiv, uint64(1+g.r.Intn(7)))
+	g.b.MovAddr(regConst, constArea)
+	g.b.MovAddr(regArena, arena)
+	g.b.MovImm(regOuter, uint64(4+g.r.Intn(9)))
+
+	top := g.b.Here()
+	g.b.MovAddr(regWalk, arena+arenaMid)
+	g.drift = 0
+	for i, n := 0, 8+g.r.Intn(13); i < n; i++ {
+		g.block()
+	}
+	g.b.SubsI(regOuter, regOuter, 1)
+	g.b.BCond(isa.NE, top)
+	g.b.Halt()
+
+	// Leaf functions live after HALT; they end in RET and contain no calls.
+	for _, l := range g.leaves {
+		g.b.Bind(l)
+		for i, n := 0, 2+g.r.Intn(4); i < n; i++ {
+			g.alu()
+		}
+		g.b.Ret()
+	}
+	return g.b.Build()
+}
+
+// gp picks a random pool register.
+func (g *gen) gp() isa.Reg { return isa.Reg(g.r.Intn(poolSize)) }
+
+// src picks a source register: usually from the pool, occasionally one of
+// the fixed random constants in X18..X21.
+func (g *gen) src() isa.Reg {
+	if g.r.OneIn(6) {
+		return isa.Reg(int(isa.X18) + g.r.Intn(4))
+	}
+	return g.gp()
+}
+
+// cond picks a random condition code, excluding AL (whose inverse is
+// undefined, and which makes conditional constructs degenerate).
+func (g *gen) cond() isa.Cond { return isa.Cond(g.r.Intn(int(isa.AL))) }
+
+func (g *gen) size() uint8 { return []uint8{1, 2, 4, 8}[g.r.Intn(4)] }
+
+// block emits one random construct.
+func (g *gen) block() {
+	switch g.r.Intn(13) {
+	case 0, 1:
+		g.alu()
+	case 2:
+		g.widthMix()
+	case 3:
+		g.nzcvSelect()
+	case 4:
+		g.fwdBranch()
+	case 5:
+		g.innerLoop()
+	case 6:
+		g.call()
+	case 7:
+		g.jumpTable()
+	case 8, 9:
+		g.mem()
+	case 10:
+		g.constLoad()
+	case 11:
+		g.spsrIdiom()
+	case 12:
+		g.fp()
+	}
+}
+
+// alu emits one random arithmetic/logic/shift/multiply/divide/move
+// instruction over the pool, in a random width.
+func (g *gen) alu() {
+	w := g.r.OneIn(2)
+	rd, rn, rm := g.gp(), g.src(), g.src()
+	switch g.r.Intn(8) {
+	case 0: // three-register ALU
+		ops := []isa.Op{isa.ADD, isa.SUB, isa.AND, isa.ORR, isa.EOR, isa.BIC, isa.MUL}
+		g.b.Emit(isa.Inst{Op: ops[g.r.Intn(len(ops))], Rd: rd, Rn: rn, Rm: rm, W: w})
+	case 1: // immediate ALU
+		ops := []isa.Op{isa.ADD, isa.SUB, isa.AND, isa.ORR, isa.EOR}
+		imm := int64(g.r.Intn(2048)) - 1024
+		g.b.Emit(isa.Inst{Op: ops[g.r.Intn(len(ops))], Rd: rd, Rn: rn, Imm: imm, UseImm: true, W: w})
+	case 2: // shift by immediate or register (emu masks register amounts)
+		ops := []isa.Op{isa.LSL, isa.LSR, isa.ASR}
+		op := ops[g.r.Intn(len(ops))]
+		if g.r.OneIn(2) {
+			g.b.Emit(isa.Inst{Op: op, Rd: rd, Rn: rn, Imm: int64(g.r.Intn(64)), UseImm: true, W: w})
+		} else if op != isa.ASR {
+			g.b.Emit(isa.Inst{Op: op, Rd: rd, Rn: rn, Rm: rm, W: w})
+		} else {
+			g.b.AsrI(rd, rn, int64(g.r.Intn(64)))
+		}
+	case 3: // bitfield extract / bit reverse
+		if g.r.OneIn(2) {
+			immr := int64(g.r.Intn(33))
+			g.b.Ubfm(rd, rn, immr, immr+int64(g.r.Intn(31)))
+		} else {
+			g.b.Rbit(rd, rn)
+		}
+	case 4: // division: small known divisor or an arbitrary (possibly
+		// zero) pool value — ARMv8 defines division by zero as zero.
+		den := regDiv
+		if g.r.OneIn(3) {
+			den = rm
+		}
+		op := isa.UDIV
+		if g.r.OneIn(2) {
+			op = isa.SDIV
+		}
+		g.b.Emit(isa.Inst{Op: op, Rd: rd, Rn: rn, Rm: den, W: w})
+	case 5: // immediate move sequences
+		switch g.r.Intn(3) {
+		case 0:
+			g.b.MovImm(rd, g.r.Uint64())
+		case 1:
+			g.b.Movz(rd, uint16(g.r.Uint32()), int64(g.r.Intn(4)))
+			g.b.Movk(rd, uint16(g.r.Uint32()), int64(g.r.Intn(4)))
+		case 2:
+			g.b.Emit(isa.Inst{Op: isa.MOVN, Rd: rd, Imm: int64(uint16(g.r.Uint32())), Imm2: int64(g.r.Intn(4)), W: w})
+		}
+	case 6: // register move (ME-eligible)
+		if g.r.OneIn(2) {
+			g.b.Mov(rd, rn)
+		} else {
+			g.b.MovW(rd, rn)
+		}
+	case 7: // flag-setting arithmetic with a dead or live result
+		ops := []isa.Op{isa.ADDS, isa.SUBS, isa.ANDS}
+		dst := rd
+		if g.r.OneIn(3) {
+			dst = isa.XZR
+		}
+		g.b.Emit(isa.Inst{Op: ops[g.r.Intn(len(ops))], Rd: dst, Rn: rn, Rm: rm, W: w})
+	}
+}
+
+// widthMix writes a W-form result and consumes it in X form (and vice
+// versa), exercising the 32-bit zero-extension contract end to end.
+func (g *gen) widthMix() {
+	rd, r2 := g.gp(), g.gp()
+	g.b.Emit(isa.Inst{Op: isa.ADD, Rd: rd, Rn: g.gp(), Rm: g.gp(), W: true})
+	g.b.Emit(isa.Inst{Op: isa.SUB, Rd: r2, Rn: rd, Rm: g.gp()})
+	g.b.Emit(isa.Inst{Op: isa.EOR, Rd: g.gp(), Rn: r2, Rm: rd, W: true})
+}
+
+// nzcvSelect sets NZCV with a compare/test idiom and consumes it with a
+// conditional select — the paper's Table 1 bread and butter.
+func (g *gen) nzcvSelect() {
+	switch g.r.Intn(4) {
+	case 0:
+		g.b.Cmp(g.gp(), g.gp())
+	case 1:
+		g.b.CmpI(g.gp(), int64(g.r.Intn(512))-256)
+	case 2:
+		g.b.Tst(g.gp(), g.gp())
+	case 3:
+		g.b.TstI(g.gp(), int64(g.r.Intn(256)))
+	}
+	c := g.cond()
+	switch g.r.Intn(4) {
+	case 0:
+		g.b.Csel(g.gp(), g.gp(), g.gp(), c)
+	case 1:
+		g.b.Csinc(g.gp(), g.gp(), g.gp(), c)
+	case 2:
+		g.b.Csneg(g.gp(), g.gp(), g.gp(), c)
+	case 3:
+		g.b.Cset(g.gp(), c) // the canonical MVP-predictable boolean producer
+	}
+}
+
+// fwdBranch emits a conditional forward skip over a short straight-line
+// body.
+func (g *gen) fwdBranch() {
+	skip := g.b.NewLabel()
+	switch g.r.Intn(5) {
+	case 0:
+		g.b.CmpI(g.gp(), int64(g.r.Intn(64)))
+		g.b.BCond(g.cond(), skip)
+	case 1:
+		g.b.Cbz(g.gp(), skip)
+	case 2:
+		g.b.Cbnz(g.gp(), skip)
+	case 3:
+		g.b.Tbz(g.gp(), int64(g.r.Intn(64)), skip)
+	case 4:
+		g.b.Tbnz(g.gp(), int64(g.r.Intn(64)), skip)
+	}
+	for i, n := 0, 1+g.r.Intn(3); i < n; i++ {
+		g.alu()
+	}
+	g.b.Bind(skip)
+}
+
+// innerLoop emits a bounded counted loop of straight-line ALU work.
+func (g *gen) innerLoop() {
+	g.b.MovImm(regInner, uint64(1+g.r.Intn(6)))
+	l := g.b.Here()
+	for i, n := 0, 1+g.r.Intn(3); i < n; i++ {
+		g.alu()
+	}
+	g.b.SubsI(regInner, regInner, 1)
+	g.b.BCond(isa.NE, l)
+}
+
+// call emits a BL to one of the leaf functions (bound after HALT).
+func (g *gen) call() {
+	g.b.Bl(g.leaves[g.r.Intn(len(g.leaves))])
+}
+
+// jumpTable emits a four-way computed goto: an indirect branch through a
+// table of label PCs, indexed by two random bits of a pool register.
+func (g *gen) jumpTable() {
+	jt := g.b.AllocWords(4)
+	var arms [4]prog.Label
+	join := g.b.NewLabel()
+	for i := range arms {
+		arms[i] = g.b.NewLabel()
+		g.b.SetWordLabel(jt+uint64(i)*8, arms[i])
+	}
+	g.b.AndI(regTmp, g.gp(), 3)
+	g.b.MovAddr(regTbl, jt)
+	g.b.LdrR(regJump, regTbl, regTmp, 3, 8)
+	g.b.Br(regJump)
+	for i := range arms {
+		g.b.Bind(arms[i])
+		g.alu()
+		g.b.B(join)
+	}
+	g.b.Bind(join)
+}
+
+// mem emits loads/stores against the arena in one of the four addressing
+// modes, with effective addresses kept in bounds by construction.
+func (g *gen) mem() {
+	size := g.size()
+	switch g.r.Intn(3) {
+	case 0: // immediate offset
+		off := int64(g.r.Intn(arenaSize/8)) * 8
+		if off > arenaSize-8 {
+			off = arenaSize - 8
+		}
+		if g.r.OneIn(2) {
+			g.b.Str(g.gp(), regArena, off, size)
+		}
+		g.b.Ldr(g.gp(), regArena, off, size)
+	case 1: // masked register offset (scaled by the access size's shift)
+		g.b.AndI(regTmp, g.gp(), 0x3f)
+		if g.r.OneIn(2) {
+			g.b.StrR(g.gp(), regArena, regTmp, 3, size)
+		}
+		g.b.LdrR(g.gp(), regArena, regTmp, 3, size)
+	case 2: // walking pointer, pre/post-index (cracks into two µops)
+		imm := int64(8 * (1 + g.r.Intn(2)))
+		if g.r.OneIn(2) {
+			imm = -imm
+		}
+		if d := g.drift + imm; d > maxDrift || d < -maxDrift {
+			imm = -imm
+		}
+		g.drift += imm
+		switch g.r.Intn(4) {
+		case 0:
+			g.b.LdrPost(g.gp(), regWalk, imm, size)
+		case 1:
+			g.b.StrPost(g.gp(), regWalk, imm, size)
+		case 2:
+			g.b.LdrPre(g.gp(), regWalk, imm, size)
+		case 3:
+			g.b.StrPre(g.gp(), regWalk, imm, size)
+		}
+	}
+}
+
+// constLoad reads from the read-only constant area: the loaded value never
+// changes, making these the most value-predictable instructions in the
+// program.
+func (g *gen) constLoad() {
+	off := int64(g.r.Intn(8)) * 8
+	g.b.Ldr(g.gp(), regConst, off, g.size())
+}
+
+// spsrIdiom emits shapes from the paper's Table 1 whose results become
+// statically known under speculative strength reduction: zero idioms,
+// moves in arithmetic clothing, multiplies by 0/1, and compares of a
+// register against itself.
+func (g *gen) spsrIdiom() {
+	rd, rn := g.gp(), g.gp()
+	switch g.r.Intn(7) {
+	case 0:
+		g.b.Zero(rd) // eor rd, rd, rd
+	case 1:
+		g.b.Sub(rd, rn, rn) // always zero
+	case 2:
+		g.b.And(rd, rn, isa.XZR) // always zero
+	case 3: // mul by a fresh 0 or 1 immediately ahead of it
+		g.b.MovImm(regTmp, uint64(g.r.Intn(2)))
+		g.b.Mul(rd, rn, regTmp)
+	case 4:
+		g.b.AddI(rd, rn, 0) // move in arithmetic clothing
+	case 5:
+		g.b.OrrI(rd, rn, 0) // move
+	case 6:
+		g.b.Cmp(rn, rn) // Z=1 always
+		g.b.Cset(rd, isa.EQ)
+	}
+}
+
+// fp emits a floating point cluster built from small integer-derived
+// values, so conversions stay in ranges where FP→int truncation is fully
+// defined. Divisors come from regDiv (always 1..7).
+func (g *gen) fp() {
+	g.b.AndI(regTmp, g.gp(), 0xff)
+	g.b.Scvtf(0, regTmp)
+	g.b.Scvtf(1, regDiv)
+	g.b.Fadd(2, 0, 1)
+	switch g.r.Intn(4) {
+	case 0:
+		g.b.Fmul(3, 2, 1)
+	case 1:
+		g.b.Fdiv(3, 2, 1) // denominator ≥ 1
+	case 2:
+		g.b.Fmadd(3, 2, 1, 0)
+	case 3:
+		g.b.Fsub(3, 0, 2)
+	}
+	if g.r.OneIn(2) {
+		g.b.Emit(isa.Inst{Op: isa.FNEG, Rd: 4, Rn: 3})
+		g.b.Emit(isa.Inst{Op: isa.FABS, Rd: 3, Rn: 4})
+	}
+	g.b.Fcmp(3, 2)
+	g.b.Cset(g.gp(), g.cond())
+	if g.r.OneIn(2) {
+		off := int64(g.r.Intn(16)) * 8
+		g.b.Fstr(3, regArena, off)
+		g.b.Fldr(5, regArena, off)
+		g.b.Fmov(6, 5)
+	}
+	g.b.Fcvtzs(g.gp(), 3) // |value| ≤ ~262*7: conversion exact
+}
+
+// Listing renders a reproducible human-readable program dump: index, PC,
+// and disassembly per instruction plus the data segment map. Divergence
+// reports embed it so a failure can be replayed and inspected without
+// rerunning the generator.
+func Listing(p *prog.Program) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "program %s: %d instructions\n", p.Name, len(p.Code))
+	for i := range p.Code {
+		fmt.Fprintf(&sb, "%5d  %#08x  %s\n", i, prog.PC(i), p.Code[i].String())
+	}
+	for _, s := range p.Data {
+		fmt.Fprintf(&sb, "data   %#08x  %d bytes\n", s.Base, len(s.Bytes))
+	}
+	return sb.String()
+}

@@ -1,0 +1,103 @@
+package fuzzgen
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// TestGenerateDeterministic: one seed, one program, bit-exactly — the
+// property the fuzz corpus and the minimizer rely on.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 42, 0xdeadbeef, 1 << 63} {
+		a, b := Generate(seed), Generate(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %#x: two generations differ", seed)
+		}
+	}
+	if reflect.DeepEqual(Generate(1).Code, Generate(2).Code) {
+		t.Fatal("distinct seeds produced identical code")
+	}
+}
+
+// TestGeneratedProgramsTerminate: every generated program halts on the
+// functional emulator well under the fuzz harness's instruction cap, and
+// leaves no stray architectural weirdness (PC inside text, stack balanced
+// enough to reach HALT).
+func TestGeneratedProgramsTerminate(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		p := Generate(seed)
+		e := emu.New(p)
+		var d emu.DynInst
+		steps := 0
+		for !e.Halted() {
+			if !e.Step(&d) {
+				t.Fatalf("seed %d: Step returned false before halt", seed)
+			}
+			if steps++; steps > 300000 {
+				t.Fatalf("seed %d: no HALT within %d instructions\n%s", seed, steps, Listing(p))
+			}
+		}
+		if d.Inst.Op != isa.HALT {
+			t.Fatalf("seed %d: final instruction %v, want HALT", seed, d.Inst.Op)
+		}
+	}
+}
+
+// TestListingCoversProgram sanity-checks the reproducible dump the fuzz
+// failures embed: one line per instruction, no disassembler fallbacks.
+func TestListingCoversProgram(t *testing.T) {
+	p := Generate(7)
+	l := Listing(p)
+	for i := range p.Code {
+		if want := p.Code[i].String(); !strings.Contains(l, want) {
+			t.Fatalf("listing is missing instruction %d (%s)", i, want)
+		}
+	}
+}
+
+// TestMinimizeKeepsPredicate: the NOP-replacement ddmin shrinks to the
+// smallest program still satisfying the predicate, never touching HALT.
+func TestMinimizeKeepsPredicate(t *testing.T) {
+	b := prog.NewBuilder("min")
+	for i := 0; i < 16; i++ {
+		b.AddI(isa.X0, isa.X0, 1)
+	}
+	b.Mul(isa.X1, isa.X2, isa.X3)
+	for i := 0; i < 16; i++ {
+		b.SubI(isa.X4, isa.X4, 1)
+	}
+	b.Mul(isa.X5, isa.X6, isa.X7)
+	p := b.Build()
+
+	countMul := func(q *prog.Program) int {
+		n := 0
+		for i := range q.Code {
+			if q.Code[i].Op == isa.MUL {
+				n++
+			}
+		}
+		return n
+	}
+	min := Minimize(p, func(q *prog.Program) bool { return countMul(q) >= 1 })
+	if got := countMul(min); got != 1 {
+		t.Fatalf("minimized program has %d MULs, want exactly 1", got)
+	}
+	for i := range min.Code {
+		switch min.Code[i].Op {
+		case isa.MUL, isa.NOP, isa.HALT:
+		default:
+			t.Fatalf("minimized program keeps a non-essential %v at %d", min.Code[i].Op, i)
+		}
+	}
+	if min.Code[len(min.Code)-1].Op != isa.HALT {
+		t.Fatal("minimizer dropped the trailing HALT")
+	}
+	if countMul(p) != 2 {
+		t.Fatal("minimizer mutated its input program")
+	}
+}

@@ -1,0 +1,105 @@
+package fuzzgen
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+	"repro/internal/prog"
+)
+
+// Diverges runs the program through the pipeline with the shadow-emulator
+// retire checker enabled and reports the first divergence, if any. A panic
+// that is not a *pipeline.Divergence (an emulator fault, a pipeline
+// deadlock) is returned as err — the minimizer treats such programs as
+// uninteresting rather than as reproductions of the original failure.
+// maxInsts caps committed instructions so mutated programs that no longer
+// terminate still return.
+func Diverges(cfg *config.Machine, p *prog.Program, maxInsts uint64) (d *pipeline.Divergence, err error) {
+	c := cfg.Clone()
+	c.CrossCheck = true
+	defer func() {
+		if r := recover(); r != nil {
+			if dv, ok := r.(*pipeline.Divergence); ok {
+				d = dv
+				return
+			}
+			err = fmt.Errorf("fuzzgen: run panicked: %v", r)
+		}
+	}()
+	pipeline.New(c, p).Run(0, maxInsts)
+	return nil, nil
+}
+
+// cloneProgram copies the code (the part Minimize mutates); data segments
+// are immutable at runtime and shared.
+func cloneProgram(p *prog.Program) *prog.Program {
+	return &prog.Program{
+		Name: p.Name,
+		Code: append([]isa.Inst(nil), p.Code...),
+		Data: p.Data,
+	}
+}
+
+// Minimize shrinks a failing program by NOP-replacement delta debugging:
+// chunks of instructions are replaced with NOPs (never removed, so branch
+// targets stay valid, and HALTs are never touched) as long as fails keeps
+// reporting the failure, halving the chunk size down to single
+// instructions until a fixpoint. The input program is not modified.
+func Minimize(p *prog.Program, fails func(*prog.Program) bool) *prog.Program {
+	cur := cloneProgram(p)
+	chunk := len(cur.Code) / 2
+	if chunk < 1 {
+		chunk = 1
+	}
+	for {
+		changed := false
+		for start := 0; start < len(cur.Code); start += chunk {
+			end := start + chunk
+			if end > len(cur.Code) {
+				end = len(cur.Code)
+			}
+			cand := cloneProgram(cur)
+			mutated := false
+			for i := start; i < end; i++ {
+				if cand.Code[i].Op != isa.HALT && cand.Code[i].Op != isa.NOP {
+					cand.Code[i] = isa.Inst{Op: isa.NOP}
+					mutated = true
+				}
+			}
+			if !mutated {
+				continue
+			}
+			if fails(cand) {
+				cur = cand
+				changed = true
+			}
+		}
+		if chunk > 1 {
+			chunk /= 2
+		} else if !changed {
+			return cur
+		}
+	}
+}
+
+// MinimizeDivergence reproduces a divergence under cfg and shrinks the
+// program while the same architectural field keeps diverging. It returns
+// the minimized program and the divergence it still exhibits (nil if the
+// original run did not diverge).
+func MinimizeDivergence(cfg *config.Machine, p *prog.Program, maxInsts uint64) (*prog.Program, *pipeline.Divergence) {
+	orig, err := Diverges(cfg, p, maxInsts)
+	if err != nil || orig == nil {
+		return p, orig
+	}
+	min := Minimize(p, func(cand *prog.Program) bool {
+		d, err := Diverges(cfg, cand, maxInsts)
+		return err == nil && d != nil && d.Field == orig.Field
+	})
+	d, _ := Diverges(cfg, min, maxInsts)
+	if d == nil {
+		return p, orig // minimization went sideways; keep the original
+	}
+	return min, d
+}

@@ -1,0 +1,94 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EncodedSize is the fixed width, in bytes, of one encoded instruction.
+//
+// The micro-ISA is structural — the pipeline operates on decoded structs —
+// so this codec is not an architectural encoding. It exists for program
+// interchange and for differential testing: a fixed-width, fully validated
+// binary form makes encode→decode→disassemble round-trips checkable for
+// every operation, and gives fuzzers a canonical byte representation.
+const EncodedSize = 33
+
+// Encoded-form layout (little-endian for multi-byte fields):
+//
+//	off 0  Op      off 4  Ra    off  8 Imm (8B)    off 32 flags:
+//	off 1  Rd      off 5  Cond  off 16 Imm2 (8B)     bit 0 W
+//	off 2  Rn      off 6  Size  off 24 Target (8B)   bit 1 UseImm
+//	off 3  Rm      off 7  Mode
+const (
+	encFlagW      = 1 << 0
+	encFlagUseImm = 1 << 1
+)
+
+// Encode serializes the instruction into its fixed-width binary form.
+// Every well-formed Inst round-trips: Decode(Encode(in)) == *in.
+func Encode(in *Inst) [EncodedSize]byte {
+	var b [EncodedSize]byte
+	b[0] = byte(in.Op)
+	b[1] = byte(in.Rd)
+	b[2] = byte(in.Rn)
+	b[3] = byte(in.Rm)
+	b[4] = byte(in.Ra)
+	b[5] = byte(in.Cond)
+	b[6] = in.Size
+	b[7] = byte(in.Mode)
+	binary.LittleEndian.PutUint64(b[8:], uint64(in.Imm))
+	binary.LittleEndian.PutUint64(b[16:], uint64(in.Imm2))
+	binary.LittleEndian.PutUint64(b[24:], uint64(in.Target))
+	if in.W {
+		b[32] |= encFlagW
+	}
+	if in.UseImm {
+		b[32] |= encFlagUseImm
+	}
+	return b
+}
+
+// Decode deserializes an instruction, validating every enumerated field so
+// arbitrary bytes can never produce an Inst outside the ISA's value space.
+func Decode(b [EncodedSize]byte) (Inst, error) {
+	var in Inst
+	if Op(b[0]) >= numOps {
+		return in, fmt.Errorf("isa: decode: bad op %d", b[0])
+	}
+	for i, r := range b[1:5] {
+		if Reg(r) >= NumRegs {
+			return in, fmt.Errorf("isa: decode: bad register operand %d at field %d", r, i)
+		}
+	}
+	if Cond(b[5]) > AL {
+		return in, fmt.Errorf("isa: decode: bad condition %d", b[5])
+	}
+	switch b[6] {
+	case 0, 1, 2, 4, 8:
+	default:
+		return in, fmt.Errorf("isa: decode: bad memory size %d", b[6])
+	}
+	if AddrMode(b[7]) > AddrPost {
+		return in, fmt.Errorf("isa: decode: bad addressing mode %d", b[7])
+	}
+	if b[32]&^(encFlagW|encFlagUseImm) != 0 {
+		return in, fmt.Errorf("isa: decode: bad flag bits %#x", b[32])
+	}
+	in = Inst{
+		Op:     Op(b[0]),
+		Rd:     Reg(b[1]),
+		Rn:     Reg(b[2]),
+		Rm:     Reg(b[3]),
+		Ra:     Reg(b[4]),
+		Cond:   Cond(b[5]),
+		Size:   b[6],
+		Mode:   AddrMode(b[7]),
+		Imm:    int64(binary.LittleEndian.Uint64(b[8:])),
+		Imm2:   int64(binary.LittleEndian.Uint64(b[16:])),
+		Target: int(int64(binary.LittleEndian.Uint64(b[24:]))),
+		W:      b[32]&encFlagW != 0,
+		UseImm: b[32]&encFlagUseImm != 0,
+	}
+	return in, nil
+}

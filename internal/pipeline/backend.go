@@ -338,7 +338,10 @@ func (c *Core) complete() {
 func (c *Core) validateVP(u *uop) bool {
 	p, _ := c.pred(u.seq)
 	actual := u.dyn.Result
-	if p.vpValue == actual {
+	// bugSeqPlus1 models a broken validation comparator for the injected
+	// instruction (injectVPBug): the corrupted prediction passes
+	// validation so only the retire checker can catch it.
+	if p.vpValue == actual || c.bugSeqPlus1 == u.seq+1 {
 		if u.vpWide {
 			// The prediction was already written at rename; the
 			// architectural result is still written back (Fig. 6's extra
@@ -432,6 +435,9 @@ func (c *Core) commit() {
 			c.commitMainStats(u)
 		}
 
+		if c.xcheck != nil {
+			c.xcheck.retireUop(c, u)
+		}
 		c.trace(u, StageCommit)
 		c.st.UOps++
 		if u.last {

@@ -115,6 +115,13 @@ type Core struct {
 
 	committed   uint64 // committed architectural instructions (total)
 	lastCommitC uint64 // cycle of the last commit (deadlock detection)
+
+	// Differential validation (config.Machine.CrossCheck) and its fault
+	// injector (crosscheck.go). xcheck is nil when disabled.
+	xcheck      *crossCheck
+	bugArmed    bool
+	bugMask     uint64
+	bugSeqPlus1 uint64 // seq+1 of the injected corruption; 0 = none yet
 }
 
 // New builds a core for the given machine over the given program.
@@ -179,6 +186,11 @@ func NewFromEmulator(cfg *config.Machine, e *emu.Emulator) *Core {
 	c.predictedReg = make([]*uop, cfg.IntPRF)
 	c.predRing = make([]predInfo, emu.DefaultStreamCapacity)
 	c.curFetchLine = ^uint64(0)
+	if cfg.CrossCheck {
+		// Snapshot before the stream's first Peek advances the emulator,
+		// so the shadow starts from exactly the state retirement replays.
+		c.xcheck = &crossCheck{shadow: e.Snapshot().Restore()}
+	}
 	return c
 }
 
@@ -248,6 +260,9 @@ func (c *Core) Run(warmup, maxInsts uint64) Result {
 		Cycles:    c.cycle,
 		Committed: c.committed,
 		Halted:    c.haltSeen && c.robCnt == 0,
+	}
+	if c.xcheck != nil && res.Halted {
+		c.xcheck.finish()
 	}
 	res.Stats = stats.Sub(&c.st, &warmSnap)
 	return res

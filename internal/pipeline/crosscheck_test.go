@@ -1,0 +1,107 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// vpBugProgram loops a highly value-predictable load (a never-written
+// constant) so the TVP predictor quickly saturates confidence and the
+// injected fault lands on a used prediction.
+func vpBugProgram() *prog.Program {
+	b := prog.NewBuilder("vp-bug")
+	slot := b.AllocWords(1, 42)
+	b.MovAddr(isa.X20, slot)
+	b.MovImm(isa.X19, 2000)
+	top := b.Here()
+	b.Ldr(isa.X1, isa.X20, 0, 8)
+	b.AddI(isa.X2, isa.X1, 1)
+	b.SubsI(isa.X19, isa.X19, 1)
+	b.BCond(isa.NE, top)
+	return b.Build()
+}
+
+// TestCrossCheckCatchesSeededVPBug is the harness's own acceptance test: a
+// deliberately corrupted predicted value, slipped in past the confidence
+// check with validation forced to pass (a broken comparator), must be
+// flagged by the retire checker at the exact retiring instruction.
+func TestCrossCheckCatchesSeededVPBug(t *testing.T) {
+	cfg := config.Default().WithVP(config.TVP)
+	cfg.CrossCheck = true
+	cfg.VP.FPCInvProb = 1 // deterministic confidence ramp
+	core := New(cfg, vpBugProgram())
+	core.injectVPBug(1) // 42^1 = 43: still 9-bit representable
+
+	var d *Divergence
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				var ok bool
+				if d, ok = r.(*Divergence); !ok {
+					panic(r)
+				}
+			}
+		}()
+		core.Run(0, 1<<20)
+	}()
+
+	if d == nil {
+		t.Fatal("seeded VP corruption retired unnoticed: the retire checker is blind")
+	}
+	if d.Field != "vp-value" {
+		t.Fatalf("divergence field = %q, want \"vp-value\" (report: %v)", d.Field, d)
+	}
+	seq, fired := core.bugSeq()
+	if !fired {
+		t.Fatal("injected bug never fired (no prediction was used)")
+	}
+	if d.Seq != seq {
+		t.Fatalf("divergence attributed to seq %d, want the corrupted instruction seq %d", d.Seq, seq)
+	}
+	if d.Want != 42 || d.Got != 43 {
+		t.Fatalf("divergence values (want=%#x got=%#x), expected oracle 42 vs corrupted 43", d.Want, d.Got)
+	}
+}
+
+// TestCrossCheckCleanRuns proves the checker stays silent across every VP
+// flavor on programs with loads, stores, branches and flag traffic — and
+// that it verifies the full run (the shadow ends exactly at HALT).
+func TestCrossCheckCleanRuns(t *testing.T) {
+	for _, mode := range []config.VPMode{config.VPOff, config.MVP, config.TVP, config.GVP} {
+		cfg := config.Default().WithVP(mode)
+		cfg.CrossCheck = true
+		cfg.VP.FPCInvProb = 1
+		if mode != config.VPOff {
+			cfg = cfg.WithSpSR(true)
+		}
+		res := New(cfg, phaseChangeProgram()).Run(0, 40000)
+		if res.Committed == 0 {
+			t.Fatalf("mode %v: nothing committed", mode)
+		}
+
+		res = New(cfg, loopProgram(500)).Run(0, 1<<20)
+		if !res.Halted {
+			t.Fatalf("mode %v: loop program did not halt", mode)
+		}
+	}
+}
+
+// TestCrossCheckOffByDefault: the checker must not exist unless asked for —
+// its cost when disabled is a nil check, and its construction must not
+// perturb the stream.
+func TestCrossCheckOffByDefault(t *testing.T) {
+	core := New(config.Default(), loopProgram(10))
+	if core.xcheck != nil {
+		t.Fatal("crossCheck allocated with CrossCheck=false")
+	}
+	cfg := config.Default()
+	cfg.CrossCheck = true
+	on := New(cfg, loopProgram(10)).Run(0, 1<<20)
+	off := New(config.Default(), loopProgram(10)).Run(0, 1<<20)
+	if on.Stats != off.Stats {
+		t.Fatal("enabling CrossCheck changed simulation statistics: the checker influenced timing")
+	}
+}

@@ -404,6 +404,14 @@ func (c *Core) tryValuePredict(u *uop, in *isa.Inst) {
 		c.st.VPSilenced++
 		return
 	}
+	if c.bugArmed {
+		// One-shot fault injection (injectVPBug): corrupt the ring entry
+		// itself so a refetch after a flush replays the same corruption.
+		c.bugArmed = false
+		c.bugSeqPlus1 = u.seq + 1
+		p.vpValue ^= c.bugMask
+		v ^= c.bugMask
+	}
 	u.vpUsed = true
 	switch {
 	case v == 0:

@@ -1,0 +1,70 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/workload"
+)
+
+// TestStatsConservationInvariants runs every workload in the suite under
+// the full paper machine (TVP + SpSR) with the shadow-emulator retire
+// checker armed, and asserts the counter conservation laws that hold for
+// any correct run: nothing is retired that was not fetched, every µop
+// accounts for an architectural instruction, every squash is attributed
+// to a flush cause, and no cache level misses more than it is accessed.
+func TestStatsConservationInvariants(t *testing.T) {
+	for _, name := range workload.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			spec, err := workload.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := config.Default().WithVP(config.TVP).WithSpSR(true)
+			cfg.CrossCheck = true
+			res := New(cfg, spec.Build()).Run(0, 30000)
+			st := &res.Stats
+
+			if st.ArchInsts != res.Committed {
+				t.Errorf("ArchInsts %d != Committed %d", st.ArchInsts, res.Committed)
+			}
+			if st.FetchedInsts < st.ArchInsts {
+				t.Errorf("FetchedInsts %d < ArchInsts %d: retired something never fetched", st.FetchedInsts, st.ArchInsts)
+			}
+			if st.UOps < st.ArchInsts {
+				t.Errorf("UOps %d < ArchInsts %d: an instruction retired without a µop", st.UOps, st.ArchInsts)
+			}
+			if st.IQIssued > st.IQAdded {
+				t.Errorf("IQIssued %d > IQAdded %d: issued a µop never inserted", st.IQIssued, st.IQAdded)
+			}
+			// VPIncorrectUsed is an execute-time event counter (the flushed
+			// instruction later retires as correct-used or train-only), so
+			// only the two commit-time outcomes bound against eligibility.
+			if used := st.VPCorrectUsed + st.VPTrainOnly; used > st.VPEligible {
+				t.Errorf("VP commit outcomes %d > VPEligible %d", used, st.VPEligible)
+			}
+			if st.VPFlushes > st.VPIncorrectUsed {
+				t.Errorf("VPFlushes %d > VPIncorrectUsed %d: flushed without a misprediction", st.VPFlushes, st.VPIncorrectUsed)
+			}
+			if st.BranchMispredicts > st.BranchLookups {
+				t.Errorf("BranchMispredicts %d > BranchLookups %d", st.BranchMispredicts, st.BranchLookups)
+			}
+			for _, c := range []struct {
+				level            string
+				accesses, misses uint64
+			}{
+				{"L1D", st.L1DAccesses, st.L1DMisses},
+				{"L2", st.L2Accesses, st.L2Misses},
+				{"L3", st.L3Accesses, st.L3Misses},
+			} {
+				if c.misses > c.accesses {
+					t.Errorf("%s: misses %d > accesses %d", c.level, c.misses, c.accesses)
+				}
+			}
+			if st.SquashedUOps > 0 && st.BranchFlushes+st.VPFlushes+st.MemOrderFlushes == 0 {
+				t.Errorf("%d µops squashed but every flush counter is zero", st.SquashedUOps)
+			}
+		})
+	}
+}

@@ -1,0 +1,82 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/workload"
+)
+
+// neverConfidentTVP builds a TVP machine whose predictor trains but can
+// never gain confidence. NineBitIdiom is deliberately left at the baseline
+// value (false): the equivalence below is about the prediction datapath,
+// so the rename-side idiom hardware must match the VP-off machine.
+func neverConfidentTVP() *config.Machine {
+	cfg := config.Default()
+	cfg.VP.Mode = config.TVP
+	cfg.VP.NeverConfident = true
+	return cfg
+}
+
+// TestNeverConfidentEquivalentToVPOff: a value predictor that never
+// reaches confidence must be timing-invisible — every statistic except the
+// train-only counter is bit-identical to a machine with VP disabled. This
+// is the property that pins "VP with confidence forced to zero ≡ VP off".
+func TestNeverConfidentEquivalentToVPOff(t *testing.T) {
+	for _, name := range workload.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			spec, err := workload.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			off := New(config.Default(), spec.Build()).Run(0, 10000)
+			nc := New(neverConfidentTVP(), spec.Build()).Run(0, 10000)
+			if nc.Cycles != off.Cycles || nc.Committed != off.Committed {
+				t.Fatalf("cycles/committed (%d, %d) != VP-off (%d, %d)",
+					nc.Cycles, nc.Committed, off.Cycles, off.Committed)
+			}
+			ns := nc.Stats
+			if ns.VPEligible > 0 && ns.VPTrainOnly == 0 {
+				t.Error("never-confident predictor recorded no train-only lookups")
+			}
+			if ns.VPCorrectUsed+ns.VPIncorrectUsed+ns.VPSilenced+ns.VPFlushes != 0 {
+				t.Errorf("never-confident predictor used/silenced predictions: %+v", ns)
+			}
+			ns.VPTrainOnly = 0
+			if ns != off.Stats {
+				t.Errorf("stats differ beyond the train-only counter:\n nc: %+v\noff: %+v", ns, off.Stats)
+			}
+		})
+	}
+}
+
+// TestSilencingIrrelevantWhenNeverConfident: the post-misprediction
+// silencing machinery can only trigger on a used prediction, so under
+// NeverConfident every silencing policy (short window, long window,
+// dynamic) must be bit-identical — including the train-only counter.
+func TestSilencingIrrelevantWhenNeverConfident(t *testing.T) {
+	for _, name := range workload.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			spec, err := workload.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := neverConfidentTVP() // SilenceCycles 250, static
+			short := neverConfidentTVP()
+			short.VP.SilenceCycles = 0
+			dyn := neverConfidentTVP()
+			dyn.VP.SilenceCycles = 15
+			dyn.VP.DynamicSilence = true
+
+			want := New(base, spec.Build()).Run(0, 10000)
+			for label, cfg := range map[string]*config.Machine{"zero-window": short, "dynamic": dyn} {
+				got := New(cfg, spec.Build()).Run(0, 10000)
+				if got.Stats != want.Stats || got.Cycles != want.Cycles {
+					t.Errorf("%s: silencing policy leaked into a never-confident run", label)
+				}
+			}
+		})
+	}
+}

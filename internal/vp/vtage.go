@@ -195,14 +195,14 @@ func (p *Predictor) Predict(pc uint64) Lookup {
 			l.provider = ti
 			l.Hit = true
 			l.Value = e.pred
-			l.Confident = e.conf >= p.confMax
+			l.Confident = e.conf >= p.confMax && !p.cfg.NeverConfident
 			return l
 		}
 	}
 	e := &p.base[bi]
 	l.Hit = true
 	l.Value = e.pred
-	l.Confident = e.conf >= p.confMax
+	l.Confident = e.conf >= p.confMax && !p.cfg.NeverConfident
 	return l
 }
 

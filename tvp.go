@@ -77,6 +77,11 @@ type Options struct {
 	// Config overrides the base machine configuration (before the VP
 	// and SpSR options are applied). Leave nil for Table 2.
 	Config *Machine
+	// CrossCheck arms the shadow-emulator retire checker
+	// (config.Machine.CrossCheck): the run panics with a
+	// *pipeline.Divergence if retired architectural state ever departs
+	// from the functional oracle. Timing and statistics are unaffected.
+	CrossCheck bool
 }
 
 // Result is the outcome of one run.
@@ -118,7 +123,10 @@ func Run(o Options) (Result, error) {
 	if cfg == nil {
 		cfg = config.Default()
 	}
-	cfg = cfg.WithVP(o.VP).WithSpSR(o.SpSR)
+	cfg = cfg.WithVP(o.VP).WithSpSR(o.SpSR) // clones: the mutation below stays local
+	if o.CrossCheck {
+		cfg.CrossCheck = true
+	}
 	if err := cfg.Validate(); err != nil {
 		return Result{}, fmt.Errorf("tvp: %w", err)
 	}
