@@ -25,6 +25,17 @@ FUZZ_TIME ?= 10s
 # hot path, so this number must not grow.
 BENCH_GUARD_ALLOCS ?= 285
 
+# Throughput floor for BenchmarkSimThroughput, in simulated MIPS. The
+# recorded PR-6 baseline is 4.09 MIPS (BENCH_PR6.json, interleaved
+# protocol); 10% tolerance under that is 3.68, which is the floor to use
+# on a quiet dedicated machine (BENCH_GUARD_MIPS=3.68). The shipped
+# default sits lower because shared 1-vCPU containers swing ±35%
+# minute-to-minute (see BENCH_PR6.json "noise" note) — it still trips on
+# any structural regression (losing cycle skipping or the SoA layouts
+# lands the low-IPC sweep and this benchmark well under 2×-class), while
+# not flapping on a slow host minute.
+BENCH_GUARD_MIPS ?= 2.60
+
 .PHONY: check vet lint build test race bench bench-guard fuzz-smoke report
 
 # lint runs before test so an invariant violation fails fast, before the
@@ -54,17 +65,23 @@ test:
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
-# Guard the simulator hot path: telemetry disabled must cost nothing, so
-# allocs/op of the throughput benchmark may not exceed the recorded
-# baseline (see BENCH_PR1.json / BENCH_PR2.json).
+# Guard the simulator hot path in both directions: telemetry disabled
+# must cost nothing (allocs/op may not exceed the recorded ceiling, see
+# BENCH_PR1.json / BENCH_PR2.json), and throughput may not fall under the
+# MIPS floor (see BENCH_PR6.json and the BENCH_GUARD_MIPS note above).
 bench-guard:
 	@out=$$($(GO) test -bench='^BenchmarkSimThroughput$$' -benchmem -benchtime 30x -run='^$$' . | tee /dev/stderr); \
 	allocs=$$(printf '%s\n' "$$out" | awk '$$1 ~ /^BenchmarkSimThroughput(-[0-9]+)?$$/ { for (i=1; i<NF; i++) if ($$(i+1) == "allocs/op") print $$i }'); \
+	mips=$$(printf '%s\n' "$$out" | awk '$$1 ~ /^BenchmarkSimThroughput(-[0-9]+)?$$/ { for (i=1; i<NF; i++) if ($$(i+1) == "MIPS") print $$i }'); \
 	if [ -z "$$allocs" ]; then echo "bench-guard: could not parse allocs/op" >&2; exit 1; fi; \
+	if [ -z "$$mips" ]; then echo "bench-guard: could not parse MIPS" >&2; exit 1; fi; \
 	if [ "$$allocs" -gt "$(BENCH_GUARD_ALLOCS)" ]; then \
 		echo "bench-guard: FAIL — $$allocs allocs/op exceeds baseline $(BENCH_GUARD_ALLOCS)" >&2; exit 1; \
 	fi; \
-	echo "bench-guard: OK — $$allocs allocs/op (ceiling $(BENCH_GUARD_ALLOCS))"
+	if awk -v m="$$mips" -v f="$(BENCH_GUARD_MIPS)" 'BEGIN { exit !(m+0 < f+0) }'; then \
+		echo "bench-guard: FAIL — $$mips MIPS under floor $(BENCH_GUARD_MIPS) (override BENCH_GUARD_MIPS on slow/shared hosts)" >&2; exit 1; \
+	fi; \
+	echo "bench-guard: OK — $$allocs allocs/op (ceiling $(BENCH_GUARD_ALLOCS)), $$mips MIPS (floor $(BENCH_GUARD_MIPS))"
 
 # Differential fuzzing smoke: go test accepts one -fuzz target per
 # invocation, so each native target gets its own short exploration run.

@@ -15,6 +15,7 @@
 //	tvpreport -ablation silencing|prefetch
 //	tvpreport -insts 250000 -warmup 50000
 //	tvpreport -nocache        # re-simulate every point (cache bypass)
+//	tvpreport -j 4            # bound the sweep worker pool (default GOMAXPROCS)
 //	tvpreport -json out/      # also write machine-readable run records
 //	tvpreport -cpuprofile report.pprof -fig 3
 package main
@@ -40,6 +41,7 @@ func main() {
 		warm       = flag.Uint64("warmup", 50_000, "warmup instructions per run")
 		insts      = flag.Uint64("insts", 250_000, "measured instructions per run")
 		nocache    = flag.Bool("nocache", false, "bypass the run memoization cache")
+		workers    = flag.Int("j", 0, "concurrent simulation workers for sweeps (0 = GOMAXPROCS); results are byte-identical at any -j")
 		fastwarm   = flag.Bool("fastwarmup", false, "resume runs from a shared functional warmup checkpoint (cold microarch state; see README)")
 		cacheStats = flag.Bool("cachestats", false, "print run-cache hit/miss counters on exit")
 		jsonDir    = flag.String("json", "", "write machine-readable run records (one JSON file per point + sweep.json) into this directory")
@@ -73,9 +75,17 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	cfg := report.Config{Warmup: *warm, Insts: *insts, NoCache: *nocache, FastWarmup: *fastwarm}
+	if *workers < 0 {
+		fatal(fmt.Errorf("-j %d out of range (want >= 0)", *workers))
+	}
+	cfg := report.Config{Warmup: *warm, Insts: *insts, NoCache: *nocache, FastWarmup: *fastwarm, Workers: *workers}
 	if *progress {
 		cfg.Heartbeat = obs.NewHeartbeat(os.Stderr)
+		n := *workers
+		if n == 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		cfg.Heartbeat.SetWorkers(n)
 	}
 	if *jsonDir != "" {
 		cfg.Obs = obs.NewSweepLog()

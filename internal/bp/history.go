@@ -24,25 +24,26 @@ type GlobalHistory struct {
 	pos  int // position of the most recently inserted bit
 }
 
-// Push inserts the newest direction bit.
+// Push inserts the newest direction bit. Branchless: the ring size is a
+// power of two, so position wrap is a mask, and the bit is cleared then
+// OR-merged instead of taking a direction-dependent branch.
 func (h *GlobalHistory) Push(taken bool) {
-	h.pos = (h.pos + 1) % HistoryBits
-	w, b := h.pos/64, uint(h.pos%64)
+	h.pos = (h.pos + 1) & (HistoryBits - 1)
+	w, b := h.pos>>6, uint(h.pos&63)
+	var t uint64
 	if taken {
-		h.bits[w] |= 1 << b
-	} else {
-		h.bits[w] &^= 1 << b
+		t = 1
 	}
+	h.bits[w] = h.bits[w]&^(1<<b) | t<<b
 }
 
-// Bit returns direction bit i, where 0 is the most recent.
+// Bit returns direction bit i, where 0 is the most recent. Masking the
+// (possibly negative) two's-complement offset replaces the divide/branch
+// modulo — this runs once per folded view per branch, the hottest loop in
+// the predictor.
 func (h *GlobalHistory) Bit(i int) uint64 {
-	p := h.pos - i
-	p %= HistoryBits
-	if p < 0 {
-		p += HistoryBits
-	}
-	return h.bits[p/64] >> (uint(p) % 64) & 1
+	p := (h.pos - i) & (HistoryBits - 1)
+	return h.bits[p>>6] >> (uint(p) & 63) & 1
 }
 
 // FoldedHistory incrementally maintains the XOR-fold of the newest
@@ -98,13 +99,14 @@ func (hs *HistorySet) Fold(i int) uint64 { return hs.folds[i].Folded }
 
 // Push inserts a new direction bit, updating every folded view.
 func (hs *HistorySet) Push(taken bool) {
-	for i := range hs.folds {
-		old := hs.Global.Bit(hs.lens[i] - 1)
-		var nb uint64
-		if taken {
-			nb = 1
-		}
-		hs.folds[i].Update(nb, old)
+	var nb uint64
+	if taken {
+		nb = 1
+	}
+	folds, lens := hs.folds, hs.lens
+	for i := range folds {
+		old := hs.Global.Bit(lens[i] - 1)
+		folds[i].Update(nb, old)
 	}
 	hs.Global.Push(taken)
 }

@@ -138,14 +138,23 @@ func (t *TAGE) Predict(pc uint64) Prediction {
 	return p
 }
 
+// bump is a saturating counter update. The increment is computed
+// branchlessly (+1/-1 from the direction bit) and the saturation bounds
+// compile to conditional moves, replacing the doubly-nested branch that
+// mispredicts on every alternating pattern.
 func bump(ctr *int8, taken bool, min, max int8) {
+	var d int8 = -1
 	if taken {
-		if *ctr < max {
-			*ctr++
-		}
-	} else if *ctr > min {
-		*ctr--
+		d = 1
 	}
+	n := *ctr + d
+	if n > max {
+		n = max
+	}
+	if n < min {
+		n = min
+	}
+	*ctr = n
 }
 
 // Train updates the predictor with the actual outcome and pushes the

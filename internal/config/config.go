@@ -205,6 +205,15 @@ type Machine struct {
 	// never influences timing, and costs one nil-check per committed µop
 	// when disabled.
 	CrossCheck bool
+
+	// DisableCycleSkip turns off the event-driven cycle-skipping fast
+	// path: when every stage is provably idle, the core normally computes
+	// the next wakeup cycle from in-flight latency events and advances
+	// the cycle counter in one jump. Skipping is exact — all counters and
+	// results are bit-identical either way (asserted by
+	// TestCycleSkipEquivalence) — so this switch exists only for
+	// equivalence testing and as a diagnostic escape hatch.
+	DisableCycleSkip bool
 }
 
 // Class bit helpers for FuncUnit masks. These mirror isa.Class values but

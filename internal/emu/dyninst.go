@@ -43,6 +43,29 @@ type DynInst struct {
 	FlagsIn, FlagsOut isa.Flags
 }
 
+// reset reinitializes a recycled stream slot for the next dynamic
+// instruction. Field-by-field equivalent of `*d = DynInst{...}` — the
+// literal form zeroes a ~96-byte temporary and duffcopies it on every
+// emulated instruction, which profiles as one of the hottest blocks in
+// the simulator. Every DynInst field MUST be covered here
+// (TestDynInstResetCoversAllFields enforces this by reflection).
+//
+//tvp:hotpath
+func (d *DynInst) reset(seq uint64, index int, pc uint64, in *isa.Inst, flagsIn isa.Flags) {
+	d.Seq = seq
+	d.Index = index
+	d.PC = pc
+	d.Inst = in
+	d.Result = 0
+	d.BaseResult = 0
+	d.StoreData = 0
+	d.EA = 0
+	d.Taken = false
+	d.NextPC = 0
+	d.FlagsIn = flagsIn
+	d.FlagsOut = 0
+}
+
 // WritesGPRResult reports whether Result is an integer register value
 // (i.e. the primary destination is a GPR that is actually written).
 func (d *DynInst) WritesGPRResult() bool {

@@ -1,0 +1,51 @@
+package emu
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestDynInstResetCoversAllFields guards DynInst.reset, the hand-unrolled
+// replacement for `*d = DynInst{...}` on the emulator hot path: a stream
+// slot dirtied in every field and then reset must be identical to a
+// pristine slot reset with the same arguments. A DynInst field that reset
+// fails to (re)initialize keeps its dirty value and fails the comparison,
+// so adding a field without extending reset is caught here rather than as
+// stale dynamic state leaking between stream entries.
+func TestDynInstResetCoversAllFields(t *testing.T) {
+	inFill, inArg := &isa.Inst{}, &isa.Inst{}
+
+	dirty := &DynInst{}
+	dv := reflect.ValueOf(dirty).Elem()
+	for i := 0; i < dv.NumField(); i++ {
+		f := dv.Field(i)
+		switch f.Kind() {
+		case reflect.Bool:
+			f.SetBool(true)
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			f.SetInt(3)
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			f.SetUint(3)
+		case reflect.Ptr:
+			f.Set(reflect.ValueOf(inFill))
+		default:
+			t.Fatalf("DynInst gained a field kind this test does not handle: %v", f.Kind())
+		}
+	}
+	dirty.reset(7, 9, 0x40, inArg, isa.Flags(2))
+
+	clean := &DynInst{}
+	clean.reset(7, 9, 0x40, inArg, isa.Flags(2))
+
+	if *dirty != *clean {
+		cv := reflect.ValueOf(clean).Elem()
+		for i := 0; i < dv.NumField(); i++ {
+			if !reflect.DeepEqual(dv.Field(i).Interface(), cv.Field(i).Interface()) {
+				t.Errorf("DynInst.reset misses field %q: dirty=%v clean=%v",
+					dv.Type().Field(i).Name, dv.Field(i), cv.Field(i))
+			}
+		}
+	}
+}

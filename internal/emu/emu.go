@@ -213,13 +213,7 @@ func (e *Emulator) Step(d *DynInst) bool {
 	}
 	in := &e.Prog.Code[e.pcIdx]
 
-	*d = DynInst{
-		Seq:     e.seq,
-		Index:   e.pcIdx,
-		PC:      prog.PC(e.pcIdx),
-		Inst:    in,
-		FlagsIn: e.Flags,
-	}
+	d.reset(e.seq, e.pcIdx, prog.PC(e.pcIdx), in, e.Flags)
 	e.seq++
 
 	nextIdx := e.pcIdx + 1

@@ -20,6 +20,7 @@ type Heartbeat struct {
 	planned   int
 	done      int
 	cached    int
+	workers   int
 	simInsts  uint64
 }
 
@@ -34,6 +35,17 @@ func NewHeartbeat(w io.Writer) *Heartbeat {
 func (h *Heartbeat) AddPlanned(n int) {
 	h.mu.Lock()
 	h.planned += n
+	h.mu.Unlock()
+}
+
+// SetWorkers records the sweep pool width for the progress line. Purely
+// informational: MIPS and ETA are aggregates over wall time and run
+// counts, so they are already correct for any number of concurrent
+// workers (and under cycle skipping, since progress is measured in
+// simulated instructions, never cycles).
+func (h *Heartbeat) SetWorkers(n int) {
+	h.mu.Lock()
+	h.workers = n
 	h.mu.Unlock()
 }
 
@@ -70,6 +82,10 @@ func (h *Heartbeat) print(now time.Time) {
 	}
 	line := fmt.Sprintf("obs: %d/%d runs (%d cached) | %.1f MIPS | %.1fs elapsed",
 		h.done, h.planned, h.cached, mips, elapsed.Seconds())
+	if h.workers > 0 {
+		line = fmt.Sprintf("obs[j%d]: %d/%d runs (%d cached) | %.1f MIPS | %.1fs elapsed",
+			h.workers, h.done, h.planned, h.cached, mips, elapsed.Seconds())
+	}
 	if h.done > 0 && h.done < h.planned {
 		eta := time.Duration(float64(elapsed) / float64(h.done) * float64(h.planned-h.done))
 		line += fmt.Sprintf(" | eta %ds", int(eta.Seconds()+0.5))

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"repro/internal/emu"
 	"repro/internal/isa"
 	"repro/internal/rename"
 )
@@ -18,7 +19,9 @@ func (c *Core) dispatch() {
 		}
 		if u.state == stDone {
 			// Eliminated / NOP µops complete at rename.
-			c.dispPtr = (c.dispPtr + 1) % len(c.rob)
+			if c.dispPtr++; c.dispPtr == len(c.rob) {
+				c.dispPtr = 0
+			}
 			c.dispCnt--
 			continue
 		}
@@ -37,48 +40,75 @@ func (c *Core) dispatch() {
 		u.state = stDispatched
 		c.trace(u, StageDispatch)
 		//tvplint:ignore hotpathalloc IQ capacity is preallocated at IQSize in NewFromEmulator and dispatch stalls on IQFull, so this append never grows
-		c.iq = append(c.iq, u)
+		c.iq = append(c.iq, u.robIdx)
+		//tvplint:ignore hotpathalloc iqWake mirrors iq (same capacity, same length), so this append never grows either
+		c.iqWake = append(c.iqWake, 0)
 		c.st.IQAdded++
 		if u.isLoad {
-			c.lq.push(u)
+			c.lq.push(u.robIdx)
 		}
 		if u.isStore {
-			c.sq.push(u)
+			c.sq.push(u.robIdx)
 		}
-		c.dispPtr = (c.dispPtr + 1) % len(c.rob)
+		if c.dispPtr++; c.dispPtr == len(c.rob) {
+			c.dispPtr = 0
+		}
 		c.dispCnt--
 	}
 }
 
 // srcsReady reports whether all register, flag and memory-dependence
-// sources of a µop are available this cycle.
+// sources of a µop are available this cycle. When it returns false it
+// also returns a wake bound: a cycle before which the µop provably
+// cannot issue (0 when no such bound exists). The bound is the max of
+// the concrete ready times among blocking sources; it is sound because
+// concrete ready times never decrease (producers broadcast exactly
+// once; GVP repair only raises them), and it remains a valid lower
+// bound even when a further source has no issued producer yet — that
+// source can only delay the µop more, never less.
 //tvp:hotpath
-func (c *Core) srcsReady(u *uop) bool {
-	for i := 0; i < u.nsrc; i++ {
+func (c *Core) srcsReady(u *uop) (bool, uint64) {
+	ready := true
+	var bound uint64
+	for i := 0; i < int(u.nsrc); i++ {
 		s := u.srcs[i]
+		var r uint64
 		if s.fp {
-			if c.fpReadyAt[s.name] > c.cycle {
-				return false
+			r = c.fpReadyAt[s.name]
+		} else {
+			r = c.intReadyAt[s.name]
+		}
+		if r > c.cycle {
+			ready = false
+			if r != neverReady && r > bound {
+				bound = r
 			}
-		} else if c.intReadyAt[s.name] > c.cycle {
-			return false
 		}
 	}
-	if u.flagR && u.flagSrc != nil && u.flagSrc.uSeq == u.flagSrcUSeq &&
-		u.flagSrc.readyCycle > c.cycle {
-		return false
+	if u.flagR && u.flagSrcIdx != noIdx {
+		if fr := c.robReady[u.flagSrcIdx]; fr > c.cycle && c.rob[u.flagSrcIdx].uSeq == u.flagSrcUSeq {
+			ready = false
+			if fr != neverReady && fr > bound {
+				bound = fr
+			}
+		}
+	}
+	if !ready {
+		return false, bound
 	}
 	if u.memDepSeq != 0 && c.storePending(u.memDepSeq-1) {
-		return false
+		// Store execution, not a fixed cycle, resolves this; no bound.
+		return false, 0
 	}
-	return true
+	return true, 0
 }
 
 // storePending reports whether the store with the given dynamic sequence
 // number is still in the store queue without having generated its address.
 //tvp:hotpath
 func (c *Core) storePending(seq uint64) bool {
-	for _, s := range c.sq.live() {
+	for _, si := range c.sq.live() {
+		s := &c.rob[si]
 		if s.seq == seq {
 			return !s.executedMem
 		}
@@ -131,8 +161,16 @@ func (c *Core) issue() {
 	c.fuInit()
 	width := c.cfg.IssueWidth
 	for i := 0; i < len(c.iq) && width > 0; {
-		u := c.iq[i]
-		if !c.srcsReady(u) {
+		// Wake-bound fast path: a cached bound (see srcsReady) means the
+		// entry provably cannot issue yet, without touching its ROB line.
+		if c.iqWake[i] > c.cycle {
+			i++
+			continue
+		}
+		u := &c.rob[c.iq[i]]
+		ready, bound := c.srcsReady(u)
+		if !ready {
+			c.iqWake[i] = bound
 			i++
 			continue
 		}
@@ -142,6 +180,7 @@ func (c *Core) issue() {
 			continue
 		}
 		c.iq = append(c.iq[:i], c.iq[i+1:]...)
+		c.iqWake = append(c.iqWake[:i], c.iqWake[i+1:]...)
 		width--
 		c.fus.usedThisCycle[fu] = true
 		c.doIssue(u, fu)
@@ -155,22 +194,22 @@ func (c *Core) issue() {
 //tvp:hotpath
 func (c *Core) doIssue(u *uop, fu int) {
 	u.state = stIssued
-	u.fu = fu
+	u.fu = uint8(fu)
 	c.trace(u, StageIssue)
 	c.st.IQIssued++
 
 	// Integer PRF read ports: physical, non-hardwired sources only
 	// (hardwired and inlined names are muxed from the scheduler entry,
 	// §3.2.1 and §6.1 footnote).
-	for i := 0; i < u.nsrc; i++ {
+	for i := 0; i < int(u.nsrc); i++ {
 		s := u.srcs[i]
 		if !s.fp && s.name.IsPhys() && !s.name.IsHardwired() {
 			c.st.IntPRFReads++
 			// GVP: note consumption of a wide predicted register; once
 			// consumed, a misprediction can no longer be repaired
 			// silently (§3.4.2).
-			if p := c.predictedReg[s.name]; p != nil {
-				p.vpConsumed = true
+			if pi := c.predictedReg[s.name]; pi != noIdx {
+				c.rob[pi].vpConsumed = true
 			}
 		}
 	}
@@ -185,22 +224,22 @@ func (c *Core) doIssue(u *uop, fu int) {
 		c.issueStore(u)
 	default:
 		lat := c.classLatency(u)
-		u.readyCycle = c.cycle + lat
+		c.robReady[u.robIdx] = c.cycle + lat
 		if !c.cfg.FUs[fu].Pipelined {
-			c.fus.busyUntil[fu] = u.readyCycle
+			c.fus.busyUntil[fu] = c.robReady[u.robIdx]
 		}
 	}
 
 	// Speculative wakeup: broadcast the destination availability.
 	if u.hasDst && u.freshDst {
 		if u.dstFP {
-			c.fpReadyAt[u.dst] = u.readyCycle
+			c.fpReadyAt[u.dst] = c.robReady[u.robIdx]
 		} else if !u.vpWide {
-			c.intReadyAt[u.dst] = u.readyCycle
+			c.intReadyAt[u.dst] = c.robReady[u.robIdx]
 		}
 	}
 	//tvplint:ignore hotpathalloc execL capacity is preallocated at ROBSize in NewFromEmulator and in-flight µops cannot exceed the ROB, so this append never grows
-	c.execL = append(c.execL, u)
+	c.execL = append(c.execL, u.robIdx)
 }
 
 //tvp:hotpath
@@ -239,34 +278,32 @@ func (c *Core) issueLoad(u *uop) {
 	agu += c.tlbs.Translate(u.ea, false)
 
 	// Store-to-load forwarding against older stores with known addresses.
-	var fwd *uop
+	fwd := noIdx
 	partial := false
-	for _, s := range c.sq.live() {
+	for _, si := range c.sq.live() {
+		s := &c.rob[si]
 		if s.seq >= u.seq {
 			break
 		}
 		if !s.executedMem || !overlaps(u.ea, u.memSize, s.ea, s.memSize) {
 			continue
 		}
-		if contains(u.ea, u.memSize, s.ea, s.memSize) {
-			fwd, partial = s, false
-		} else {
-			fwd, partial = s, true
-		}
+		fwd, partial = si, !contains(u.ea, u.memSize, s.ea, s.memSize)
 	}
 	switch {
-	case fwd != nil && !partial:
+	case fwd != noIdx && !partial:
 		// Full forward from the youngest covering store.
-		u.readyCycle = agu + uint64(c.cfg.L1D.LoadToUse)
-		if fwd.readyCycle > u.readyCycle {
-			u.readyCycle = fwd.readyCycle
+		rc := agu + uint64(c.cfg.L1D.LoadToUse)
+		if fr := c.robReady[fwd]; fr > rc {
+			rc = fr
 		}
-	case fwd != nil:
+		c.robReady[u.robIdx] = rc
+	case fwd != noIdx:
 		// Partial overlap: wait for the store data and replay through
 		// the cache.
-		u.readyCycle = maxu(c.l1dAccess(u, agu, false), fwd.readyCycle+4)
+		c.robReady[u.robIdx] = maxu(c.l1dAccess(u, agu, false), c.robReady[fwd]+4)
 	default:
-		u.readyCycle = c.l1dAccess(u, agu, false)
+		c.robReady[u.robIdx] = c.l1dAccess(u, agu, false)
 	}
 }
 
@@ -278,10 +315,11 @@ func (c *Core) issueLoad(u *uop) {
 //tvp:hotpath
 func (c *Core) issueStore(u *uop) {
 	u.executedMem = true
-	u.readyCycle = c.cycle + uint64(c.cfg.StoreLat)
-	c.ssets.StoreExecuted(u.storePC, u.seq)
+	c.robReady[u.robIdx] = c.cycle + uint64(c.cfg.StoreLat)
+	c.ssets.StoreExecuted(u.dyn.PC, u.seq)
 
-	for _, l := range c.lq.live() {
+	for _, li := range c.lq.live() {
+		l := &c.rob[li]
 		if l.seq > u.seq && l.executedMem && overlaps(l.ea, l.memSize, u.ea, u.memSize) {
 			c.ssets.Violation(l.dyn.PC, u.dyn.PC)
 			c.st.MemOrderFlushes++
@@ -297,11 +335,13 @@ func (c *Core) issueStore(u *uop) {
 func (c *Core) complete() {
 	c.flushedThisCycle = false
 	for i := 0; i < len(c.execL); {
-		u := c.execL[i]
-		if u.readyCycle > c.cycle {
+		// Poll the dense ready array first; the 128-byte uop line is only
+		// touched once the µop is actually due.
+		if c.robReady[c.execL[i]] > c.cycle {
 			i++
 			continue
 		}
+		u := &c.rob[c.execL[i]]
 		c.execL = append(c.execL[:i], c.execL[i+1:]...)
 		u.state = stDone
 		c.trace(u, StageComplete)
@@ -346,7 +386,7 @@ func (c *Core) validateVP(u *uop) bool {
 			// The prediction was already written at rename; the
 			// architectural result is still written back (Fig. 6's extra
 			// GVP write traffic).
-			c.predictedReg[u.dst] = nil
+			c.predictedReg[u.dst] = noIdx
 			c.st.IntPRFWrites++
 		}
 		return true
@@ -359,7 +399,7 @@ func (c *Core) validateVP(u *uop) bool {
 	if u.vpWide && !u.vpConsumed {
 		// GVP silent repair (§3.4.2): no dependent has read the
 		// prediction, so the correct value simply overwrites it.
-		c.predictedReg[u.dst] = nil
+		c.predictedReg[u.dst] = noIdx
 		c.intReadyAt[u.dst] = c.cycle
 		c.st.IntPRFWrites++
 		u.vpUsed = false // commits as a non-used (repaired) prediction
@@ -373,7 +413,7 @@ func (c *Core) validateVP(u *uop) bool {
 	if u.vpWide {
 		// GVP: the instruction owns a physical register; the correct
 		// result overwrites the prediction and only younger µops squash.
-		c.predictedReg[u.dst] = nil
+		c.predictedReg[u.dst] = noIdx
 		c.intReadyAt[u.dst] = c.cycle
 		c.st.IntPRFWrites++
 		u.vpUsed = false
@@ -395,7 +435,7 @@ func (c *Core) validateVP(u *uop) bool {
 func (c *Core) commit() {
 	for n := 0; n < c.cfg.CommitWidth && c.robCnt > 0; n++ {
 		u := &c.rob[c.robHead]
-		if u.state != stDone || u.readyCycle > c.cycle {
+		if u.state != stDone || c.robReady[c.robHead] > c.cycle {
 			break
 		}
 
@@ -418,14 +458,14 @@ func (c *Core) commit() {
 		}
 
 		if u.isStore {
-			if c.sq.len() == 0 || *c.sq.front() != u {
+			if c.sq.len() == 0 || *c.sq.front() != u.robIdx {
 				panic("pipeline: store commit out of order")
 			}
 			c.sq.popFront()
 			c.l1dAccess(u, c.cycle, true)
 		}
 		if u.isLoad {
-			if c.lq.len() == 0 || *c.lq.front() != u {
+			if c.lq.len() == 0 || *c.lq.front() != u.robIdx {
 				panic("pipeline: load commit out of order")
 			}
 			c.lq.popFront()
@@ -445,9 +485,11 @@ func (c *Core) commit() {
 			c.committed++
 		}
 		if u.vpWide {
-			c.predictedReg[u.dst] = nil
+			c.predictedReg[u.dst] = noIdx
 		}
-		c.robHead = (c.robHead + 1) % len(c.rob)
+		if c.robHead++; c.robHead == len(c.rob) {
+			c.robHead = 0
+		}
 		c.robCnt--
 		c.lastCommitC = c.cycle
 	}
@@ -463,9 +505,9 @@ func (c *Core) commitMainStats(u *uop) {
 		c.st.MoveNotElim++
 	}
 	if u.eliminated {
-		switch u.elim.Origin {
+		switch u.elimOrigin {
 		case rename.OriginZeroOne:
-			if u.elim.Kind == rename.KindOne {
+			if u.elimKind == rename.KindOne {
 				c.st.OneIdiomElim++
 			} else {
 				c.st.ZeroIdiomElim++
@@ -476,7 +518,7 @@ func (c *Core) commitMainStats(u *uop) {
 			c.st.NineBitElim++
 		case rename.OriginSpSR:
 			c.st.SpSRElim++
-			switch u.elim.Kind {
+			switch u.elimKind {
 			case rename.KindZero:
 				c.st.SpSRZero++
 			case rename.KindOne:
@@ -499,14 +541,20 @@ func (c *Core) commitMainStats(u *uop) {
 	if in.VPEligible() {
 		c.st.VPEligible++
 	}
-	if u.vpHasLookup {
-		if u.vpUsed {
-			c.st.VPCorrectUsed++ // a used wrong prediction never commits used
-		} else {
-			c.st.VPTrainOnly++
-		}
-		if c.vpred != nil {
-			c.vpred.Train(u.vpLookup, u.dyn.Result)
+	if c.vpred != nil && in.VPEligible() {
+		// The fetch-time lookup lives in the predRing, re-read here rather
+		// than carried in the ROB entry: the ring (stream capacity) far
+		// exceeds the instruction window, so a retiring instruction's
+		// record is always intact (the retire checker asserts exactly
+		// this invariant).
+		p := &c.predRing[u.seq&(emu.DefaultStreamCapacity-1)]
+		if p.seqPlus1 == u.seq+1 && p.vpValid {
+			if u.vpUsed {
+				c.st.VPCorrectUsed++ // a used wrong prediction never commits used
+			} else {
+				c.st.VPTrainOnly++
+			}
+			c.vpred.Train(p.vpLookup, u.dyn.Result)
 		}
 	}
 }

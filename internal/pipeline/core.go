@@ -79,6 +79,8 @@ type Core struct {
 
 	cycle   uint64
 	uSeqCtr uint64
+	skipOK  bool   // event-driven cycle skipping enabled (cached off cfg)
+	skipped uint64 // cycles advanced by trySkip (diagnostic, not a stat)
 
 	// Frontend state.
 	fetchQ          queue[fqEntry]
@@ -89,22 +91,32 @@ type Core struct {
 	lineReadyAt     uint64
 	haltSeen        bool
 	predRing        []predInfo
+	crack           []crackStatic // per static instruction, precomputed at build
 
-	// Backend state.
-	rob          []uop // ring buffer
+	// Backend state. The scheduler-side structures hold ROB slot indices
+	// (int32) instead of *uop pointers: the issue/wakeup scans then walk
+	// dense index arrays plus the ROB ring itself, which halves their
+	// footprint and keeps appends free of GC write barriers.
+	rob []uop // ring buffer
+	// robReady is the struct-of-arrays split of the µops' ready cycles
+	// (indexed by ROB slot, lockstep with rob): the complete/commit/skip
+	// scans poll only this dense uint64 array instead of dragging each
+	// 128-byte uop line through the cache to read one field.
+	robReady     []uint64
 	robHead      int
 	robTail      int
 	robCnt       int
 	dispPtr      int // ring index of the next µop to dispatch
 	dispCnt      int // µops renamed but not yet dispatched
-	iq           []*uop
-	lq           queue[*uop]
-	sq           queue[*uop]
-	execL        []*uop
+	iq           []int32
+	iqWake       []uint64 // per-iq-entry issue lower bound (lockstep with iq); 0 = recheck every cycle
+	lq           queue[int32]
+	sq           queue[int32]
+	execL        []int32
 	intReadyAt   []uint64
 	fpReadyAt    []uint64
-	predictedReg []*uop // GVP: in-flight wide prediction per physical reg
-	lastFlagW    *uop
+	predictedReg []int32 // GVP: ROB slot of the in-flight wide prediction per physical reg; noIdx = none
+	lastFlagWIdx int32   // ROB slot of the youngest renamed flag writer; noIdx = none
 	lastFlagWSeq uint64
 
 	fus              fuState
@@ -175,17 +187,31 @@ func NewFromEmulator(cfg *config.Machine, e *emu.Emulator) *Core {
 		Inline:       cfg.VP.Mode == config.TVP || cfg.VP.Mode == config.GVP,
 	}
 	c.rob = make([]uop, cfg.ROBSize)
-	c.iq = make([]*uop, 0, cfg.IQSize)
+	c.robReady = make([]uint64, cfg.ROBSize)
+	c.iq = make([]int32, 0, cfg.IQSize)
+	c.iqWake = make([]uint64, 0, cfg.IQSize)
 	// execL holds issued-but-incomplete µops, bounded by the ROB;
 	// preallocating keeps doIssue's append off the heap (hotpathalloc).
-	c.execL = make([]*uop, 0, cfg.ROBSize)
-	c.lq.buf = make([]*uop, 0, cfg.LQSize)
-	c.sq.buf = make([]*uop, 0, cfg.SQSize)
+	c.execL = make([]int32, 0, cfg.ROBSize)
+	c.lq.buf = make([]int32, 0, cfg.LQSize)
+	c.sq.buf = make([]int32, 0, cfg.SQSize)
 	c.intReadyAt = make([]uint64, cfg.IntPRF)
 	c.fpReadyAt = make([]uint64, cfg.FPPRF)
-	c.predictedReg = make([]*uop, cfg.IntPRF)
+	c.predictedReg = make([]int32, cfg.IntPRF)
+	for i := range c.predictedReg {
+		c.predictedReg[i] = noIdx
+	}
+	c.lastFlagWIdx = noIdx
+	// Cracking depends only on the static instruction, so the decode
+	// stage's per-µop switch work is hoisted here, once per text entry.
+	c.crack = make([]crackStatic, len(e.Prog.Code))
+	for i := range e.Prog.Code {
+		in := &e.Prog.Code[i]
+		c.crack[i] = crackStatic{class: isa.OpClass(in.Op), two: isa.CrackCount(in) == 2}
+	}
 	c.predRing = make([]predInfo, emu.DefaultStreamCapacity)
 	c.curFetchLine = ^uint64(0)
+	c.skipOK = !cfg.DisableCycleSkip
 	if cfg.CrossCheck {
 		// Snapshot before the stream's first Peek advances the emulator,
 		// so the shadow starts from exactly the state retirement replays.
@@ -268,9 +294,14 @@ func (c *Core) Run(warmup, maxInsts uint64) Result {
 	return res
 }
 
-// step advances the machine by one cycle.
+// step advances the machine by one cycle — or, when every stage is
+// provably idle, first jumps the cycle counter to the next wake event
+// (skip.go) and runs the stages there.
 //tvp:hotpath
 func (c *Core) step() {
+	if c.skipOK {
+		c.trySkip()
+	}
 	c.complete()
 	c.commit()
 	c.issue()
@@ -291,8 +322,8 @@ func (c *Core) headState() string {
 		return "empty"
 	}
 	u := &c.rob[c.robHead]
-	s := fmt.Sprintf("seq=%d op=%v kind=%d state=%d ready=%d", u.seq, u.dyn.Inst.Op, u.kind, u.state, u.readyCycle)
-	for i := 0; i < u.nsrc; i++ {
+	s := fmt.Sprintf("seq=%d op=%v kind=%d state=%d ready=%d", u.seq, u.dyn.Inst.Op, u.kind, u.state, c.robReady[c.robHead])
+	for i := 0; i < int(u.nsrc); i++ {
 		src := u.srcs[i]
 		if src.fp {
 			s += fmt.Sprintf(" fp%v@%d", src.name, c.fpReadyAt[src.name])
@@ -303,8 +334,10 @@ func (c *Core) headState() string {
 	if u.memDepSeq != 0 {
 		s += fmt.Sprintf(" memdep=%d pending=%v", u.memDepSeq-1, c.storePending(u.memDepSeq-1))
 	}
-	if u.flagR && u.flagSrc != nil && u.flagSrc.uSeq == u.flagSrcUSeq {
-		s += fmt.Sprintf(" flagdep=%d@%d", u.flagSrc.seq, u.flagSrc.readyCycle)
+	if u.flagR && u.flagSrcIdx != noIdx {
+		if fs := &c.rob[u.flagSrcIdx]; fs.uSeq == u.flagSrcUSeq {
+			s += fmt.Sprintf(" flagdep=%d@%d", fs.seq, c.robReady[u.flagSrcIdx])
+		}
 	}
 	return s
 }
@@ -316,7 +349,16 @@ func (c *Core) headState() string {
 func (c *Core) pred(seq uint64) (p *predInfo, fresh bool) {
 	p = &c.predRing[seq&(emu.DefaultStreamCapacity-1)]
 	if p.seqPlus1 != seq+1 {
-		*p = predInfo{seqPlus1: seq + 1}
+		// Reset fields individually rather than `*p = predInfo{...}`: the
+		// embedded vp.Lookup dominates the struct and every read of it is
+		// gated on vpValid, so clearing it per instruction is pure memclr
+		// cost on the fetch path.
+		p.seqPlus1 = seq + 1
+		p.bpMispred = false
+		p.btbMiss = false
+		p.vpValid = false
+		p.vpConf = false
+		p.vpValue = 0
 		return p, true
 	}
 	return p, false
@@ -330,3 +372,8 @@ func (c *Core) MemHierarchy() *cache.Hierarchy { return c.mem }
 
 // Cycle returns the current cycle.
 func (c *Core) Cycle() uint64 { return c.cycle }
+
+// SkippedCycles returns the number of cycles the event-driven scheduler
+// advanced over without simulating (0 with DisableCycleSkip). Purely
+// diagnostic: skipped cycles are fully accounted in Cycles and stats.
+func (c *Core) SkippedCycles() uint64 { return c.skipped }

@@ -22,8 +22,8 @@ func (c *Core) flush(seq uint64, penalty uint64) {
 				c.ren.ReleaseFP(u.dst)
 			} else {
 				c.ren.Release(u.dst)
-				if u.vpWide && c.predictedReg[u.dst] == u {
-					c.predictedReg[u.dst] = nil
+				if u.vpWide && c.predictedReg[u.dst] == u.robIdx {
+					c.predictedReg[u.dst] = noIdx
 				}
 			}
 		}
@@ -48,15 +48,26 @@ func (c *Core) flush(seq uint64, penalty uint64) {
 	}
 
 	// Filter the scheduler, memory queues and in-flight execution list.
-	c.iq = filterUops(c.iq, seq)
-	c.lq.filterLive(func(u *uop) bool { return u.seq < seq })
-	c.sq.filterLive(func(u *uop) bool { return u.seq < seq })
-	c.execL = filterUops(c.execL, seq)
+	// The scheduler's wake-hint array stays in lockstep with iq: surviving
+	// entries keep their (still sound) bounds, squashed ones drop out.
+	{
+		out, wout := c.iq[:0], c.iqWake[:0]
+		for k, i := range c.iq {
+			if c.rob[i].seq < seq {
+				out = append(out, i)
+				wout = append(wout, c.iqWake[k])
+			}
+		}
+		c.iq, c.iqWake = out, wout
+	}
+	c.lq.filterLive(func(i int32) bool { return c.rob[i].seq < seq })
+	c.sq.filterLive(func(i int32) bool { return c.rob[i].seq < seq })
+	c.execL = c.filterIdx(c.execL, seq)
 
 	// Rename recovery: restore committed mappings, then replay surviving
 	// speculative definitions in program order.
 	c.ren.RestoreFromCRAT()
-	c.lastFlagW = nil
+	c.lastFlagWIdx = noIdx
 	c.lastFlagWSeq = 0
 	for i, idx := 0, c.robHead; i < c.robCnt; i, idx = i+1, (idx+1)%len(c.rob) {
 		u := &c.rob[idx]
@@ -68,7 +79,7 @@ func (c *Core) flush(seq uint64, penalty uint64) {
 			}
 		}
 		if u.flagW {
-			c.lastFlagW = u
+			c.lastFlagWIdx = int32(idx)
 			c.lastFlagWSeq = u.uSeq
 		}
 	}
@@ -83,12 +94,14 @@ func (c *Core) flush(seq uint64, penalty uint64) {
 	c.fetchStallUntil = maxu(c.fetchStallUntil, c.cycle+penalty)
 }
 
-// filterUops removes squashed µops (seq >= boundary) preserving order.
-func filterUops(list []*uop, seq uint64) []*uop {
+// filterIdx removes squashed µops (seq >= boundary) from an index list,
+// preserving order. Squashed ROB slots keep their seq until reused, so the
+// lookup is valid even for entries squashed earlier in this flush.
+func (c *Core) filterIdx(list []int32, seq uint64) []int32 {
 	out := list[:0]
-	for _, u := range list {
-		if u.seq < seq {
-			out = append(out, u)
+	for _, i := range list {
+		if c.rob[i].seq < seq {
+			out = append(out, i)
 		}
 	}
 	return out

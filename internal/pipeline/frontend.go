@@ -143,29 +143,51 @@ func (c *Core) firstFetch(d *emu.DynInst, p *predInfo) {
 	}
 }
 
+// crackStatic is the precomputed decode of one static instruction: its
+// Main-µop class and whether a BaseUpdate µop follows (pre/post-index
+// memory ops). Built once per program text in NewFromEmulator, it
+// replaces the per-dynamic-instruction isa.Crack/CrackCount switches in
+// decode — identical output, no per-µop dispatch on the opcode.
+type crackStatic struct {
+	class isa.Class
+	two   bool
+}
+
+// dqCap bounds the decode-to-rename µop queue. Package-level because
+// trySkip must model decode's "output queue full" no-op condition.
+const dqCap = 32
+
 // decode moves instructions from the fetch queue to the µop queue,
 // cracking pre/post-index memory operations into two µops.
 //tvp:hotpath
 func (c *Core) decode() {
-	const dqCap = 32
 	for n := 0; n < c.cfg.DecodeWidth && c.fetchQ.len() > 0; n++ {
 		e := *c.fetchQ.front()
 		if e.fetchCycle+uint64(c.cfg.FetchToDecode) > c.cycle {
 			break
 		}
-		cnt := isa.CrackCount(e.dyn.Inst)
+		ci := c.crack[e.dyn.Index]
+		cnt := 1
+		if ci.two {
+			cnt = 2
+		}
 		if c.decodeQ.len()+cnt > dqCap {
 			break
 		}
 		c.fetchQ.popFront()
-		var tmpl [2]isa.UOpTemplate
-		uts := isa.Crack(e.dyn.Inst, tmpl[:0])
-		for i, t := range uts {
+		c.decodeQ.push(dqEntry{
+			dyn:         e.dyn,
+			kind:        isa.UOpMain,
+			class:       ci.class,
+			last:        !ci.two,
+			decodeCycle: c.cycle,
+		})
+		if ci.two {
 			c.decodeQ.push(dqEntry{
 				dyn:         e.dyn,
-				kind:        t.Kind,
-				class:       t.Class,
-				last:        i == len(uts)-1,
+				kind:        isa.UOpBaseUpdate,
+				class:       isa.ClassIntALU,
+				last:        true,
 				decodeCycle: c.cycle,
 			})
 		}
@@ -193,31 +215,24 @@ func (c *Core) renameStage() {
 			break
 		}
 		c.decodeQ.popFront()
+		idx := int32(c.robTail)
 		u := &c.rob[c.robTail]
-		c.robTail = (c.robTail + 1) % len(c.rob)
+		if c.robTail++; c.robTail == len(c.rob) {
+			c.robTail = 0
+		}
 		c.robCnt++
 		c.dispCnt++
-		c.renameUop(u, e)
+		c.renameUop(u, idx, e)
+		c.trace(u, StageRename)
 	}
 }
 
 // renameUop fills one ROB entry.
 //tvp:hotpath
-func (c *Core) renameUop(u *uop, e dqEntry) {
-	defer c.trace(u, StageRename)
+func (c *Core) renameUop(u *uop, idx int32, e dqEntry) {
 	c.uSeqCtr++
-	*u = uop{
-		dyn:         e.dyn,
-		seq:         e.dyn.Seq,
-		kind:        e.kind,
-		class:       e.class,
-		last:        e.last,
-		uSeq:        c.uSeqCtr,
-		renameCycle: c.cycle,
-		readyCycle:  neverReady,
-		state:       stRenamed,
-		memDepSeq:   0,
-	}
+	u.reset(e.dyn, e.kind, e.class, e.last, c.uSeqCtr, c.cycle, idx)
+	c.robReady[idx] = neverReady
 	in := e.dyn.Inst
 
 	if e.kind == isa.UOpBaseUpdate {
@@ -228,7 +243,7 @@ func (c *Core) renameUop(u *uop, e dqEntry) {
 	switch e.class {
 	case isa.ClassNop:
 		u.state = stDone
-		u.readyCycle = c.cycle
+		c.robReady[idx] = c.cycle
 		return
 	case isa.ClassLoad:
 		u.isLoad = true
@@ -249,7 +264,6 @@ func (c *Core) renameUop(u *uop, e dqEntry) {
 		u.moveBlocked = moveBlocked
 		if d.Kind != rename.KindNone {
 			c.applyReduction(u, in, d)
-			c.attachVPTraining(u, in)
 			return
 		}
 	}
@@ -268,14 +282,14 @@ func (c *Core) renameUop(u *uop, e dqEntry) {
 	if isa.SetsFlags(in.Op) {
 		u.flagW = true
 		c.ren.InvalidateNZCV()
-		c.lastFlagW = u
+		c.lastFlagWIdx = u.robIdx
 		c.lastFlagWSeq = u.uSeq
 	}
 	if isa.ReadsFlags(in.Op) {
 		if _, _, known := c.ren.NZCV(); !known {
 			u.flagR = true
-			if c.lastFlagW != nil && c.lastFlagW.uSeq == c.lastFlagWSeq {
-				u.flagSrc = c.lastFlagW
+			if c.lastFlagWIdx != noIdx && c.rob[c.lastFlagWIdx].uSeq == c.lastFlagWSeq {
+				u.flagSrcIdx = c.lastFlagWIdx
 				u.flagSrcUSeq = c.lastFlagWSeq
 			}
 		}
@@ -300,13 +314,10 @@ func (c *Core) renameUop(u *uop, e dqEntry) {
 	if u.isStore {
 		u.ea = e.dyn.EA
 		u.memSize = in.Size
-		u.storePC = e.dyn.PC
 		if prev, ok := c.ssets.RenameStore(e.dyn.PC, e.dyn.Seq); ok && prev < u.seq {
 			u.memDepSeq = prev + 1
 		}
 	}
-
-	c.attachVPTraining(u, in)
 }
 
 // renameBaseUpdate renames the address-increment µop of a pre/post-index
@@ -333,9 +344,10 @@ func (c *Core) renameBaseUpdate(u *uop, in *isa.Inst) {
 //tvp:hotpath
 func (c *Core) applyReduction(u *uop, in *isa.Inst, d rename.Decision) {
 	u.eliminated = true
-	u.elim = d
+	u.elimKind = d.Kind
+	u.elimOrigin = d.Origin
 	u.state = stDone
-	u.readyCycle = c.cycle
+	c.robReady[u.robIdx] = c.cycle
 
 	switch d.Kind {
 	case rename.KindZero:
@@ -434,7 +446,7 @@ func (c *Core) tryValuePredict(u *uop, in *isa.Inst) {
 		u.dstWide = !in.W
 		u.dstSpec = true
 		u.vpWide = true
-		c.predictedReg[reg] = u
+		c.predictedReg[reg] = u.robIdx
 		c.st.VPWidePRFWrites++
 		c.st.IntPRFWrites++
 	}
@@ -556,19 +568,6 @@ func (c *Core) renameDest(u *uop, in *isa.Inst) {
 	u.dst = p
 	u.dstArch = rd
 	u.dstWide = !in.W
-}
-
-// attachVPTraining records the prediction lookup so the commit stage can
-// train the predictor through the VP-tracking FIFO (§3.3).
-//tvp:hotpath
-func (c *Core) attachVPTraining(u *uop, in *isa.Inst) {
-	if c.vpred == nil || u.kind != isa.UOpMain || !in.VPEligible() {
-		return
-	}
-	if p, _ := c.pred(u.seq); p.vpValid {
-		u.vpHasLookup = true
-		u.vpLookup = p.vpLookup
-	}
 }
 
 func maxu(a, b uint64) uint64 {

@@ -1,0 +1,81 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/workload"
+)
+
+// skipConfigs are the machine variants the skip-equivalence proof runs
+// under: the baseline, each VP mode (TVP exercises inlined-value renames,
+// GVP the wide-prediction PRF path), and SpSR (rename-resolved branches
+// interact with the fetch-wait wake chain). CrossCheck arms the shadow
+// oracle so a skip that desynchronized retirement would panic, not just
+// miscount.
+func skipConfigs() map[string]*config.Machine {
+	base := config.Default()
+	base.CrossCheck = true
+	tvp := base.Clone()
+	tvp.VP.Mode = config.TVP
+	tvp.NineBitIdiom = true
+	gvp := base.Clone()
+	gvp.VP.Mode = config.GVP
+	spsr := base.Clone()
+	spsr.SpSR = true
+	spsr.NineBitIdiom = true
+	return map[string]*config.Machine{"base": base, "tvp": tvp, "gvp": gvp, "spsr": spsr}
+}
+
+// TestCycleSkipEquivalence: event-driven cycle skipping must be exact —
+// the full stats.Sim block, cycle count, committed count and halt state
+// are bit-identical with skipping on and off, across the workload suite
+// and machine variants, including a warmup boundary (the snapshot
+// subtraction observes intermediate counter values). This is the
+// invariant that justifies shipping skipping enabled by default.
+func TestCycleSkipEquivalence(t *testing.T) {
+	var skippedTotal uint64
+	for cfgName, cfg := range skipConfigs() {
+		for _, name := range workload.Names() {
+			spec, err := workload.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Run(cfgName+"/"+name, func(t *testing.T) {
+				off := cfg.Clone()
+				off.DisableCycleSkip = true
+				con := New(cfg, spec.Build())
+				ron := con.Run(1000, 20000)
+				roff := New(off, spec.Build()).Run(1000, 20000)
+				skippedTotal += con.SkippedCycles()
+				if ron.Cycles != roff.Cycles || ron.Committed != roff.Committed || ron.Halted != roff.Halted {
+					t.Fatalf("run shape diverged: skip-on (cycles=%d committed=%d halted=%v) vs off (%d, %d, %v)",
+						ron.Cycles, ron.Committed, ron.Halted, roff.Cycles, roff.Committed, roff.Halted)
+				}
+				if ron.Stats != roff.Stats {
+					t.Errorf("stats diverged:\n on: %+v\noff: %+v", ron.Stats, roff.Stats)
+				}
+			})
+		}
+	}
+	if skippedTotal == 0 {
+		t.Error("cycle skipping never engaged across the whole suite; the fast path is dead")
+	}
+}
+
+// TestCycleSkipDisabledIsTickByTick: DisableCycleSkip must really
+// disable the mechanism (SkippedCycles 0), so the equivalence test above
+// compares against a genuine tick-by-tick run.
+func TestCycleSkipDisabledIsTickByTick(t *testing.T) {
+	spec, err := workload.Get(workload.Names()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.Default()
+	cfg.DisableCycleSkip = true
+	c := New(cfg, spec.Build())
+	c.Run(0, 5000)
+	if c.SkippedCycles() != 0 {
+		t.Fatalf("DisableCycleSkip run skipped %d cycles", c.SkippedCycles())
+	}
+}

@@ -64,10 +64,17 @@ type Tracer interface {
 // effect on simulated timing.
 func (c *Core) SetTracer(t Tracer) { c.tracer = t }
 
+// trace is split so the no-tracer check inlines at the half-dozen
+// per-µop call sites; the event construction only pays its call when a
+// tracer is actually attached.
 func (c *Core) trace(u *uop, s Stage) {
 	if c.tracer == nil {
 		return
 	}
+	c.traceEvent(u, s)
+}
+
+func (c *Core) traceEvent(u *uop, s Stage) {
 	var ix uint8
 	if u.kind == isa.UOpBaseUpdate {
 		ix = 1

@@ -18,7 +18,6 @@ import (
 	"repro/internal/emu"
 	"repro/internal/isa"
 	"repro/internal/rename"
-	"repro/internal/vp"
 )
 
 // uopState tracks a µop's progress through the backend.
@@ -41,63 +40,132 @@ type srcOperand struct {
 	fp   bool
 }
 
-// uop is an in-flight micro-operation. µops live in the ROB ring; pointers
-// to them are valid from rename until commit or squash.
-type uop struct {
-	dyn   *emu.DynInst
-	seq   uint64 // architectural dynamic sequence number (dyn.Seq)
-	kind  isa.UOpKind
-	class isa.Class
-	last  bool // last µop of its architectural instruction
+// noIdx is the "no ROB slot" sentinel for the index-based side structures
+// (IQ, LQ/SQ, exec list, flag dependences, GVP tracking).
+const noIdx int32 = -1
 
-	state       uopState
+// uop is an in-flight micro-operation. µops live in the ROB ring; the
+// scheduler-side structures (IQ, LQ/SQ, exec list, flag and GVP
+// cross-references) hold ROB slot indices rather than pointers, so the
+// backend scans walk a dense int32 array and the ROB itself instead of
+// chasing heap pointers, and the entries carry no GC write barriers.
+//
+// The struct is deliberately compact (fat rename/VP metadata lives in the
+// predRing keyed by seq): renameUop rewrites a whole entry per µop, so
+// every byte here is a byte of duffcopy on the hottest path in the
+// simulator.
+type uop struct {
+	dyn *emu.DynInst
+
+	seq         uint64 // architectural dynamic sequence number (dyn.Seq)
+	uSeq        uint64 // unique µop sequence for flag dependences and ordering
 	renameCycle uint64
-	readyCycle  uint64 // cycle the result becomes available once issued
-	fu          int    // functional unit index while issued
+	// The result-ready cycle lives in Core.robReady (struct-of-arrays,
+	// indexed by robIdx) so the completion/commit/skip polls stay off
+	// this struct's cache lines.
+
+	// Memory state.
+	ea          uint64
+	memDepSeq   uint64 // store (dyn) seq this op must wait for; 0 = none
+	flagSrcUSeq uint64
 
 	// Renamed operands.
-	srcs        [4]srcOperand
-	nsrc        int
-	flagW       bool // writes NZCV at execute
-	flagR       bool // reads NZCV at execute
-	flagSrc     *uop // producing flag writer still in flight at rename
-	flagSrcUSeq uint64
+	srcs [4]srcOperand
+
+	robIdx     int32 // this µop's own ROB slot
+	flagSrcIdx int32 // ROB slot of the in-flight flag producer; noIdx = none
+
+	dst     rename.Name
+	kind    isa.UOpKind
+	class   isa.Class
+	state   uopState
+	fu      uint8 // functional unit index while issued
+	nsrc    uint8
+	memSize uint8
+	dstArch isa.Reg
+
+	// Rename-time elimination (the Origin/Kind pair is all commit-side
+	// accounting needs; the full rename.Decision never leaves rename).
+	elimKind   rename.Kind
+	elimOrigin rename.Origin
+
+	last bool // last µop of its architectural instruction
+
+	flagW bool // writes NZCV at execute
+	flagR bool // reads NZCV at execute
 
 	// Destination.
 	hasDst   bool
 	dstFP    bool
-	dstArch  isa.Reg
-	dst      rename.Name
 	dstWide  bool
 	dstSpec  bool
 	freshDst bool // dst came from the free list (vs shared/hardwired/value)
 
-	// Unique µop sequence for flag dependences and ordering.
-	uSeq uint64
-
-	// Rename-time elimination.
 	eliminated  bool
-	elim        rename.Decision
 	moveBlocked bool
 
-	// Value prediction.
-	vpHasLookup bool      // a prediction was made for this instruction
-	vpLookup    vp.Lookup // training metadata (FIFO entry)
-	vpUsed      bool      // the prediction was consumed by renaming the dest
-	vpWide      bool      // GVP: prediction written to the PRF (not inlined)
-	vpConsumed  bool      // GVP: a dependent read the predicted register
+	// Value prediction (training metadata stays in the predRing entry,
+	// re-read at commit; only the use-time policy bits live here).
+	vpUsed     bool // the prediction was consumed by renaming the dest
+	vpWide     bool // GVP: prediction written to the PRF (not inlined)
+	vpConsumed bool // GVP: a dependent read the predicted register
 
 	// Branch state (main µop of branch instructions).
 	isBranch      bool
 	resolvedEarly bool // SpSR resolved the branch at rename
 
-	// Memory state.
 	isLoad, isStore bool
-	ea              uint64
-	memSize         uint8
-	memDepSeq       uint64 // store (dyn) seq this op must wait for; 0 = none
-	executedMem     bool   // address generated / access performed
-	storePC         uint64 // PC for store-set training
+	executedMem     bool // address generated / access performed
+}
+
+// reset reinitializes a recycled ROB slot for a freshly renamed µop. It
+// is the field-by-field equivalent of assigning a `uop{...}` composite
+// literal, written out explicitly because the literal form materializes a
+// 120-byte zeroed temporary and duffcopies it into the slot — measurably
+// the single hottest block in the simulator. Every field of uop MUST be
+// covered here (TestUopResetCoversAllFields enforces this by reflection:
+// add a field without resetting it and the test fails).
+//
+//tvp:hotpath
+func (u *uop) reset(dyn *emu.DynInst, kind isa.UOpKind, class isa.Class, last bool, uSeq, cycle uint64, idx int32) {
+	u.dyn = dyn
+	u.seq = dyn.Seq
+	u.uSeq = uSeq
+	u.renameCycle = cycle
+	u.ea = 0
+	u.memDepSeq = 0
+	u.flagSrcUSeq = 0
+	u.srcs = [4]srcOperand{}
+	u.robIdx = idx
+	u.flagSrcIdx = noIdx
+	u.dst = 0
+	u.kind = kind
+	u.class = class
+	u.state = stRenamed
+	u.fu = 0
+	u.nsrc = 0
+	u.memSize = 0
+	u.dstArch = 0
+	u.elimKind = 0
+	u.elimOrigin = 0
+	u.last = last
+	u.flagW = false
+	u.flagR = false
+	u.hasDst = false
+	u.dstFP = false
+	u.dstWide = false
+	u.dstSpec = false
+	u.freshDst = false
+	u.eliminated = false
+	u.moveBlocked = false
+	u.vpUsed = false
+	u.vpWide = false
+	u.vpConsumed = false
+	u.isBranch = false
+	u.resolvedEarly = false
+	u.isLoad = false
+	u.isStore = false
+	u.executedMem = false
 }
 
 // overlaps reports whether two accesses [a, a+as) and [b, b+bs) intersect.

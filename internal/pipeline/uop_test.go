@@ -1,0 +1,71 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+	"unsafe"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
+
+// fillNonzero sets every field of the struct (recursing through nested
+// structs and arrays) to a value that differs from the Go zero value,
+// using unsafe addressing since the fields are unexported.
+func fillNonzero(v reflect.Value, ptr unsafe.Pointer, dyn *emu.DynInst) {
+	switch v.Kind() {
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			f := v.Field(i)
+			fp := unsafe.Pointer(uintptr(ptr) + v.Type().Field(i).Offset)
+			fillNonzero(reflect.NewAt(f.Type(), fp).Elem(), fp, dyn)
+		}
+	case reflect.Array:
+		es := v.Type().Elem().Size()
+		for i := 0; i < v.Len(); i++ {
+			ep := unsafe.Pointer(uintptr(ptr) + uintptr(i)*es)
+			fillNonzero(reflect.NewAt(v.Type().Elem(), ep).Elem(), ep, dyn)
+		}
+	case reflect.Bool:
+		v.SetBool(true)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(3)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(3)
+	case reflect.Ptr:
+		v.Set(reflect.ValueOf(dyn))
+	default:
+		panic("uop gained a field kind fillNonzero does not handle: " + v.Kind().String())
+	}
+}
+
+// TestUopResetCoversAllFields guards uop.reset, the hand-unrolled
+// replacement for `*u = uop{...}` on the rename hot path: a recycled ROB
+// slot is dirtied in every field, reset, and compared against a reset of
+// a pristine slot. Any uop field that reset fails to (re)initialize keeps
+// its dirty value and fails the comparison — so adding a field to uop
+// without extending reset is caught here, not as stale-state corruption
+// deep in a simulation.
+func TestUopResetCoversAllFields(t *testing.T) {
+	dynFill := &emu.DynInst{Seq: 11}
+	dynArg := &emu.DynInst{Seq: 21}
+
+	dirty := new(uop)
+	fillNonzero(reflect.NewAt(reflect.TypeOf(*dirty), unsafe.Pointer(dirty)).Elem(),
+		unsafe.Pointer(dirty), dynFill)
+	dirty.reset(dynArg, isa.UOpKind(2), isa.Class(1), true, 7, 9, 5)
+
+	clean := new(uop)
+	clean.reset(dynArg, isa.UOpKind(2), isa.Class(1), true, 7, 9, 5)
+
+	if *dirty != *clean {
+		dv := reflect.NewAt(reflect.TypeOf(*dirty), unsafe.Pointer(dirty)).Elem()
+		cv := reflect.NewAt(reflect.TypeOf(*clean), unsafe.Pointer(clean)).Elem()
+		for i := 0; i < dv.NumField(); i++ {
+			if !reflect.DeepEqual(dv.Field(i).Interface(), cv.Field(i).Interface()) {
+				t.Errorf("uop.reset misses field %q: dirty=%v clean=%v",
+					dv.Type().Field(i).Name, dv.Field(i), cv.Field(i))
+			}
+		}
+	}
+}

@@ -101,16 +101,24 @@ func (r *Renamer) FreeInt() int { return len(r.freeInt) }
 // FreeFP returns the number of free FP physical registers.
 func (r *Renamer) FreeFP() int { return len(r.freeFP) }
 
-// SrcInt renames an integer source operand.
+// SrcInt renames an integer source operand. The value extraction is
+// open-coded rather than going through Name.Known/Name.Value: the RAT
+// never holds Invalid, so ValueBit alone identifies an inlined value and
+// names <= HardOne are the hardwired constants — and dropping the panic
+// path keeps SrcInt within the inlining budget of its rename-stage
+// callers (two calls per µop).
 func (r *Renamer) SrcInt(reg isa.Reg) Operand {
 	if reg == isa.XZR {
 		return Operand{Name: HardZero, Known: true, Value: 0, Wide: true}
 	}
 	m := r.rat[reg]
 	op := Operand{Name: m.name, Wide: m.wide, Spec: m.spec}
-	if m.name.Known() {
+	if m.name&ValueBit != 0 {
 		op.Known = true
-		op.Value = m.name.Value()
+		op.Value = int64(int16(m.name<<7)) >> 7 // sign-extend the low 9 bits
+	} else if m.name <= HardOne {
+		op.Known = true
+		op.Value = int64(m.name)
 	}
 	return op
 }

@@ -52,6 +52,13 @@ type Config struct {
 	// absolute numbers differ slightly from the paper's timed-warmup
 	// discipline — use it for quick sweeps, not for EXPERIMENTS.md.
 	FastWarmup bool
+	// Workers bounds the number of concurrently executing simulations in
+	// a sweep (tvpreport -j). 0 means GOMAXPROCS. The worker count only
+	// changes wall time, never results: every sweep writes its stats into
+	// a per-spec slot and renders in spec order, so output is
+	// byte-identical from -j 1 to full parallelism
+	// (TestSweepParallelismInvariance).
+	Workers int
 	// Heartbeat, when non-nil, receives live sweep progress (runs
 	// done/planned, cache recalls, realized MIPS). Observation only; it
 	// never changes results.
@@ -83,6 +90,13 @@ func (c Config) base() *config.Machine {
 		return c.Base
 	}
 	return config.Default()
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // runSpec names one timing run.
@@ -172,16 +186,17 @@ func (c Config) runOne(s runSpec) (stats.Sim, error) {
 	return st, err
 }
 
-// runAll executes the specs concurrently and returns stats in order.
-// Failures are collected (not panicked) and reported together, each
-// wrapped with its workload name.
+// runAll executes the specs on the sweep worker pool (Config.Workers
+// wide) and returns stats in spec order — slot-indexed writes keep the
+// output independent of completion order. Failures are collected (not
+// panicked) and reported together, each wrapped with its workload name.
 func (c Config) runAll(specs []runSpec) ([]stats.Sim, error) {
 	if c.Heartbeat != nil {
 		c.Heartbeat.AddPlanned(len(specs))
 	}
 	out := make([]stats.Sim, len(specs))
 	errs := make([]error, len(specs))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	sem := make(chan struct{}, c.workers())
 	var wg sync.WaitGroup
 	for i := range specs {
 		wg.Add(1)
@@ -257,7 +272,7 @@ func Fig1(c Config, topN int) ([]ValueCount, error) {
 	names := c.names()
 	hs := make([]valueHist, len(names))
 	errs := make([]error, len(names))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	sem := make(chan struct{}, c.workers())
 	var wg sync.WaitGroup
 	for i, n := range names {
 		wg.Add(1)

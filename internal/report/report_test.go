@@ -2,6 +2,7 @@ package report
 
 import (
 	"bytes"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -322,5 +323,46 @@ func TestTable3Smoke(t *testing.T) {
 	WriteTable3(&buf, rows)
 	if !strings.Contains(buf.String(), "Table 3") {
 		t.Error("rendering")
+	}
+}
+
+// TestSweepParallelismInvariance: the sweep worker pool (Config.Workers,
+// tvpreport -j) must not change results — rendered output is byte-equal
+// between a serial sweep (-j 1) and a wide pool, with the memoization
+// cache bypassed so every point actually simulates on the pool.
+func TestSweepParallelismInvariance(t *testing.T) {
+	render := func(workers int) string {
+		c := tiny()
+		c.Insts = 30000
+		c.NoCache = true
+		c.Workers = workers
+		var buf bytes.Buffer
+		rows, sum, err := Fig3(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		WriteFig3(&buf, rows, sum)
+		rows5, geo, err := Fig5(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		WriteFig5(&buf, rows5, geo)
+		return buf.String()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Errorf("sweep output differs between -j 1 and -j 8:\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+}
+
+// TestWorkersDefault: Workers=0 falls back to GOMAXPROCS and explicit
+// bounds are honored.
+func TestWorkersDefault(t *testing.T) {
+	if got := (Config{}).workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("workers() = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := (Config{Workers: 3}).workers(); got != 3 {
+		t.Errorf("workers() = %d, want 3", got)
 	}
 }
