@@ -15,7 +15,8 @@
 //	tvpreport -ablation silencing|prefetch
 //	tvpreport -insts 250000 -warmup 50000
 //	tvpreport -nocache        # re-simulate every point (cache bypass)
-//	tvpreport -j 4            # bound the sweep worker pool (default GOMAXPROCS)
+//	tvpreport -cpistack       # top-down CPI stack, base vs TVP+SpSR
+//	tvpreport -j 4            # bound the sweep worker pool (0 = all CPU cores)
 //	tvpreport -json out/      # also write machine-readable run records
 //	tvpreport -cpuprofile report.pprof -fig 3
 package main
@@ -41,7 +42,8 @@ func main() {
 		warm       = flag.Uint64("warmup", 50_000, "warmup instructions per run")
 		insts      = flag.Uint64("insts", 250_000, "measured instructions per run")
 		nocache    = flag.Bool("nocache", false, "bypass the run memoization cache")
-		workers    = flag.Int("j", 0, "concurrent simulation workers for sweeps (0 = GOMAXPROCS); results are byte-identical at any -j")
+		cpistack   = flag.Bool("cpistack", false, "print the top-down CPI-stack cycle accounting (base vs TVP+SpSR)")
+		workers    = flag.Int("j", 0, "concurrent simulation workers for sweeps (0 = all CPU cores); results are byte-identical at any -j")
 		fastwarm   = flag.Bool("fastwarmup", false, "resume runs from a shared functional warmup checkpoint (cold microarch state; see README)")
 		cacheStats = flag.Bool("cachestats", false, "print run-cache hit/miss counters on exit")
 		jsonDir    = flag.String("json", "", "write machine-readable run records (one JSON file per point + sweep.json) into this directory")
@@ -81,17 +83,13 @@ func main() {
 	cfg := report.Config{Warmup: *warm, Insts: *insts, NoCache: *nocache, FastWarmup: *fastwarm, Workers: *workers}
 	if *progress {
 		cfg.Heartbeat = obs.NewHeartbeat(os.Stderr)
-		n := *workers
-		if n == 0 {
-			n = runtime.GOMAXPROCS(0)
-		}
-		cfg.Heartbeat.SetWorkers(n)
+		cfg.Heartbeat.SetWorkers(cfg.EffectiveWorkers())
 	}
 	if *jsonDir != "" {
 		cfg.Obs = obs.NewSweepLog()
 	}
 	w := os.Stdout
-	all := *fig == 0 && *table == 0 && !*storage && *ablation == ""
+	all := *fig == 0 && *table == 0 && !*storage && !*cpistack && *ablation == ""
 
 	if all || *table == 2 {
 		report.WriteTable2(w, config.Default())
@@ -165,6 +163,14 @@ func main() {
 			fatal(err)
 		}
 		report.WriteFig6(w, rows)
+		fmt.Fprintln(w)
+	}
+	if all || *cpistack {
+		rows, err := report.CPIStacks(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		report.WriteCPIStacks(w, rows)
 		fmt.Fprintln(w)
 	}
 	if all || *ablation == "silencing" {

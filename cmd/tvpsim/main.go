@@ -8,6 +8,7 @@
 //	tvpsim -workload 602_gcc_s_1 -vp tvp -spsr -insts 300000
 //	tvpsim -all -vp gvp
 //	tvpsim -workload 602_gcc_s_1 -vp tvp -json > run.ndjson
+//	tvpsim -workload 602_gcc_s_1 -vp tvp -cpistack
 //	tvpsim -workload 602_gcc_s_1 -konata trace.log
 //	tvpsim -list
 package main
@@ -26,6 +27,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -163,6 +165,44 @@ func runInstrumented(names []string, mode tvp.VPMode, spsr bool, warm, insts uin
 	return nerr
 }
 
+// runCPIStack simulates the named workloads with commit-slot accounting
+// armed and prints the top-down CPI stack: the percent of post-warmup
+// commit slots per bucket (each row sums to 100% — the accounting is an
+// exact decomposition of cycles × commit width). Returns the number of
+// failed runs.
+func runCPIStack(names []string, mode tvp.VPMode, spsr bool, warm, insts uint64, xcheck bool) int {
+	cfg := config.Default().WithVP(mode).WithSpSR(spsr)
+	cfg.CrossCheck = xcheck
+	fmt.Printf("%-22s %8s", "workload", "IPC")
+	for _, b := range (&stats.CPIStack{}).Buckets() {
+		fmt.Printf(" %8s", b.Name)
+	}
+	fmt.Println()
+	nerr := 0
+	for _, n := range names {
+		spec, err := workload.Get(n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tvpsim:", err)
+			nerr++
+			continue
+		}
+		core := pipeline.New(cfg, spec.Build())
+		core.EnableCPIStack()
+		res := core.Run(warm, insts)
+		fmt.Printf("%-22s %8.3f", n, res.Stats.IPC())
+		total := float64(res.CPI.Total())
+		for _, b := range res.CPI.Buckets() {
+			p := 0.0
+			if total > 0 {
+				p = 100 * float64(b.Slots) / total
+			}
+			fmt.Printf(" %8.3f", p)
+		}
+		fmt.Println()
+	}
+	return nerr
+}
+
 // runPipetrace attaches a pipeline-view tracer and simulates just far
 // enough to print the first n committed µops.
 func runPipetrace(name string, mode tvp.VPMode, spsr bool, n int) {
@@ -187,6 +227,7 @@ func main() {
 		warm    = flag.Uint64("warmup", 50_000, "warmup instructions")
 		insts   = flag.Uint64("insts", 300_000, "measured instructions")
 		compare = flag.Bool("compare", false, "run baseline+MVP+TVP+GVP and print speedups")
+		cpistk  = flag.Bool("cpistack", false, "print the top-down CPI-stack bucket breakdown (% of commit slots)")
 		ptrace  = flag.Int("pipetrace", 0, "print an O3-pipeview-style trace of the first N committed µops")
 		jsonOut = flag.Bool("json", false, "emit one machine-readable obs.RunRecord per workload as NDJSON on stdout")
 		konata  = flag.String("konata", "", "write a Kanata (Konata viewer) pipeline trace to this file (single workload)")
@@ -276,6 +317,17 @@ func main() {
 			os.Exit(2)
 		}
 		runPipetrace(names[0], mode, *spsr, *ptrace)
+		return
+	}
+
+	if *cpistk {
+		if *jsonOut || *konata != "" {
+			fmt.Fprintln(os.Stderr, "tvpsim: -json/-konata cannot be combined with -cpistack")
+			os.Exit(2)
+		}
+		if runCPIStack(names, mode, *spsr, *warm, *insts, *xcheck) > 0 {
+			exitCode = 1
+		}
 		return
 	}
 

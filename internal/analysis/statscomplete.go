@@ -7,9 +7,10 @@ import (
 )
 
 // NewStatsComplete builds the statscomplete analyzer over the stats
-// package (statsPkg, declaring the Sim counter block and the Sub delta)
-// and the obs package (obsPkg, declaring the RunRecord / Sample
-// serialization shapes).
+// package (statsPkg, declaring the Sim counter block with its Sub delta
+// and the CPIStack bucket block with its SubCPI delta) and the obs
+// package (obsPkg, declaring the RunRecord / Sample serialization
+// shapes, which must carry both blocks whole).
 //
 // The runtime machinery keeps counters complete *structurally*:
 // stats.Sub computes deltas with a reflect loop over every field, and
@@ -24,15 +25,18 @@ import (
 func NewStatsComplete(statsPkg, obsPkg string) *Analyzer {
 	a := &Analyzer{
 		Name: "statscomplete",
-		Doc:  "every stats.Sim counter must be a uint64 covered by the Sub delta path and carried whole in obs.RunRecord/obs.Sample serialization",
+		Doc:  "every stats.Sim counter and stats.CPIStack bucket must be a uint64 covered by the Sub/SubCPI delta paths and carried whole in obs.RunRecord/obs.Sample serialization",
 	}
 	a.Run = func(pass *Pass) error {
 		switch pass.Pkg.Path {
 		case statsPkg:
 			checkSimCounters(pass)
+			checkCPIStack(pass)
 		case obsPkg:
-			checkRecordCarriesSim(pass, statsPkg, "RunRecord", "Totals")
-			checkRecordCarriesSim(pass, statsPkg, "Sample", "Delta")
+			checkRecordCarriesBlock(pass, statsPkg, "RunRecord", "Totals", "Sim")
+			checkRecordCarriesBlock(pass, statsPkg, "Sample", "Delta", "Sim")
+			checkRecordCarriesBlock(pass, statsPkg, "RunRecord", "CPI", "CPIStack")
+			checkRecordCarriesBlock(pass, statsPkg, "Sample", "CPIDelta", "CPIStack")
 		}
 		return nil
 	}
@@ -71,10 +75,46 @@ func checkSimCounters(pass *Pass) {
 	}
 }
 
-// checkRecordCarriesSim enforces the obs-side contract: the named record
-// type carries a whole stats.Sim in the named field, exported and not
-// JSON-suppressed, so serialization is complete by construction.
-func checkRecordCarriesSim(pass *Pass, statsPkg, typeName, fieldName string) {
+// checkCPIStack enforces the same contract over the CPI-stack bucket
+// block: CPIStack exists, every bucket is a JSON-visible uint64 (SubCPI
+// and AddCPI reflect over every field with SetUint, and the
+// exact-decomposition invariant Σ buckets == cycles × width only holds
+// if no bucket hides from serialization), and the SubCPI delta function
+// the interval sampler depends on is present with the contractual
+// signature.
+func checkCPIStack(pass *Pass) {
+	scope := pass.Pkg.Types.Scope()
+	obj := scope.Lookup("CPIStack")
+	if obj == nil {
+		pass.Reportf(pass.Pkg.Files[0].Package, "CPI block type CPIStack not found in %s", pass.Pkg.Path)
+		return
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		pass.Reportf(obj.Pos(), "CPIStack must be a struct of uint64 buckets, got %s", obj.Type().Underlying())
+		return
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if b, ok := f.Type().Underlying().(*types.Basic); !ok || b.Kind() != types.Uint64 {
+			pass.Reportf(f.Pos(), "bucket field CPIStack.%s is %s, not uint64: SubCPI/AddCPI's reflect loop (SetUint over every bucket) would panic and interval CPI deltas would silently diverge", f.Name(), f.Type())
+		}
+		if tag := reflect.StructTag(st.Tag(i)).Get("json"); tag == "-" || strings.Contains(tag, "omitempty") {
+			pass.Reportf(f.Pos(), "bucket field CPIStack.%s carries json tag %q, which drops it from RunRecord/Sample serialization and breaks the exact-decomposition invariant for readers", f.Name(), tag)
+		}
+	}
+	if sub := scope.Lookup("SubCPI"); sub == nil {
+		pass.Reportf(obj.Pos(), "delta function SubCPI missing from %s: per-interval CPI vectors depend on it", pass.Pkg.Path)
+	} else if sig, ok := sub.Type().(*types.Signature); !ok || sig.Params().Len() != 2 || sig.Results().Len() != 1 {
+		pass.Reportf(sub.Pos(), "delta function SubCPI must be SubCPI(a, b *CPIStack) CPIStack, got %s", sub.Type())
+	}
+}
+
+// checkRecordCarriesBlock enforces the obs-side contract: the named
+// record type carries a whole stats.<blockName> in the named field,
+// exported and not JSON-suppressed, so serialization is complete by
+// construction.
+func checkRecordCarriesBlock(pass *Pass, statsPkg, typeName, fieldName, blockName string) {
 	obj := pass.Pkg.Types.Scope().Lookup(typeName)
 	if obj == nil {
 		pass.Reportf(pass.Pkg.Files[0].Package, "record type %s not found in %s: the versioned stats output contract is gone", typeName, pass.Pkg.Path)
@@ -91,8 +131,8 @@ func checkRecordCarriesSim(pass *Pass, statsPkg, typeName, fieldName string) {
 			continue
 		}
 		n, ok := types.Unalias(f.Type()).(*types.Named)
-		if !ok || n.Obj().Name() != "Sim" || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != statsPkg {
-			pass.Reportf(f.Pos(), "%s.%s must carry the whole %s.Sim counter block (got %s): a hand-enumerated subset silently drops future counters from serialization", typeName, fieldName, statsPkg, f.Type())
+		if !ok || n.Obj().Name() != blockName || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != statsPkg {
+			pass.Reportf(f.Pos(), "%s.%s must carry the whole %s.%s counter block (got %s): a hand-enumerated subset silently drops future counters from serialization", typeName, fieldName, statsPkg, blockName, f.Type())
 			return
 		}
 		if !f.Exported() {
@@ -103,5 +143,5 @@ func checkRecordCarriesSim(pass *Pass, statsPkg, typeName, fieldName string) {
 		}
 		return
 	}
-	pass.Reportf(obj.Pos(), "%s has no %s field of type %s.Sim: counters are no longer serialized whole", typeName, fieldName, statsPkg)
+	pass.Reportf(obj.Pos(), "%s has no %s field of type %s.%s: counters are no longer serialized whole", typeName, fieldName, statsPkg, blockName)
 }

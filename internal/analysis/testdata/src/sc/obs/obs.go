@@ -1,5 +1,5 @@
 // Package obs is the statscomplete golden obs side: record types that
-// drop or truncate the counter block.
+// drop or truncate the counter and CPI-bucket blocks.
 package obs
 
 import "sc/stats"
@@ -8,14 +8,16 @@ import "sc/stats"
 // exists to reject.
 type SimSubset struct{ Cycles uint64 }
 
-// RunRecord carries a subset instead of the whole block.
-type RunRecord struct {
+// RunRecord carries a subset instead of the whole block, and has no CPI
+// bucket block at all.
+type RunRecord struct { // want "RunRecord has no CPI field of type sc/stats.CPIStack"
 	Schema string
 	Totals SimSubset // want "RunRecord.Totals must carry the whole sc/stats.Sim counter block"
 }
 
-// Sample carries the right type but hides it from JSON.
+// Sample carries the right types but hides them from JSON.
 type Sample struct {
 	StartInst uint64
-	Delta     stats.Sim `json:"-"` // want `Sample.Delta carries json tag "-"`
+	Delta     stats.Sim      `json:"-"` // want `Sample.Delta carries json tag "-"`
+	CPIDelta  stats.CPIStack `json:"-"` // want `Sample.CPIDelta carries json tag "-"`
 }

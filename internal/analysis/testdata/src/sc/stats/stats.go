@@ -13,3 +13,13 @@ type Sim struct {
 
 // Sub is the reflect-based delta with the contractual signature.
 func Sub(a, b *Sim) Sim { return Sim{Cycles: a.Cycles - b.Cycles} }
+
+// CPIStack mirrors stats.CPIStack: the top-down bucket block.
+type CPIStack struct {
+	Retiring uint64 `json:"retiring"`
+	Frac     float64 // want "bucket field CPIStack.Frac is float64, not uint64"
+	Ghost    uint64  `json:"ghost,omitempty"` // want "bucket field CPIStack.Ghost carries json tag"
+}
+
+// SubCPI is the reflect-based bucket delta with the contractual signature.
+func SubCPI(a, b *CPIStack) CPIStack { return CPIStack{Retiring: a.Retiring - b.Retiring} }

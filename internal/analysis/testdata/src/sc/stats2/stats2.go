@@ -1,6 +1,6 @@
-// Package stats2 is the statscomplete golden for a missing delta path:
-// clean counters but no Sub function.
-package stats2
+// Package stats2 is the statscomplete golden for missing pieces: clean
+// counters but no Sub function, and no CPIStack block at all.
+package stats2 // want "CPI block type CPIStack not found"
 
 // Sim has no Sub: warmup exclusion silently breaks.
 type Sim struct { // want "delta function Sub missing"

@@ -5,6 +5,8 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"repro/internal/stats"
 )
 
 // Heartbeat prints a throttled one-line progress report for long sweeps:
@@ -22,6 +24,13 @@ type Heartbeat struct {
 	cached    int
 	workers   int
 	simInsts  uint64
+	// Cycle accounting across finished runs (RunDoneStats): skipped vs
+	// total simulated cycles for the skip-% readout, and the summed CPI
+	// stack for the top-bucket readout. Plain sums under the heartbeat
+	// mutex, so the aggregate is exact for any number of workers.
+	cycles  uint64
+	skipped uint64
+	cpi     stats.CPIStack
 }
 
 // NewHeartbeat returns a Heartbeat writing to w (normally os.Stderr so
@@ -53,10 +62,23 @@ func (h *Heartbeat) SetWorkers(n int) {
 // were actually simulated for it (0 for a cache recall); cached marks a
 // memoized point. A line is printed if the throttle period has elapsed.
 func (h *Heartbeat) RunDone(simInsts uint64, cached bool) {
+	h.RunDoneStats(simInsts, cached, 0, 0, nil)
+}
+
+// RunDoneStats is RunDone with cycle-accounting detail: cycles/skipped
+// feed the skipped-cycle percentage and cpi (nil when the run carried no
+// CPI accounting) feeds the running top-bucket readout. Cached recalls
+// pass zeros — the line reports what was actually simulated.
+func (h *Heartbeat) RunDoneStats(simInsts uint64, cached bool, cycles, skipped uint64, cpi *stats.CPIStack) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.done++
 	h.simInsts += simInsts
+	h.cycles += cycles
+	h.skipped += skipped
+	if cpi != nil {
+		h.cpi.AddCPI(cpi)
+	}
 	if cached {
 		h.cached++
 	}
@@ -85,6 +107,12 @@ func (h *Heartbeat) print(now time.Time) {
 	if h.workers > 0 {
 		line = fmt.Sprintf("obs[j%d]: %d/%d runs (%d cached) | %.1f MIPS | %.1fs elapsed",
 			h.workers, h.done, h.planned, h.cached, mips, elapsed.Seconds())
+	}
+	if h.cycles > 0 {
+		line += fmt.Sprintf(" | skip %.1f%%", 100*float64(h.skipped)/float64(h.cycles))
+	}
+	if top := h.cpi.Top(); top.Slots > 0 {
+		line += " | top " + top.Name
 	}
 	if h.done > 0 && h.done < h.planned {
 		eta := time.Duration(float64(elapsed) / float64(h.done) * float64(h.planned-h.done))

@@ -29,8 +29,13 @@ package obs
 // suffix when a field changes meaning or is removed; adding fields is
 // backward compatible.
 const (
-	// RunSchema versions RunRecord (one simulation point).
-	RunSchema = "tvp.obs.run/v1"
+	// RunSchema versions RunRecord (one simulation point). v2 added the
+	// CPI-stack block: totals in RunRecord.CPI, per-interval deltas in
+	// Sample.CPIDelta, and the commit-stall attribution table.
+	// DecodeRunRecord accepts v1 records (their CPI fields read as zero).
+	RunSchema = "tvp.obs.run/v2"
+	// RunSchemaV1 is the pre-CPI-stack RunRecord schema, still decodable.
+	RunSchemaV1 = "tvp.obs.run/v1"
 	// SweepSchema versions SweepRecord (one tvpreport sweep).
 	SweepSchema = "tvp.obs.sweep/v1"
 )

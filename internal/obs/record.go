@@ -48,6 +48,10 @@ type Attribution struct {
 	VPFlushes         []PCCount `json:"vp_flushes"`
 	BranchMispredicts []PCCount `json:"branch_mispredicts"`
 	L1DMisses         []PCCount `json:"l1d_misses"`
+	// CommitStalls attributes idle commit slots to the instruction that
+	// blocked the ROB head (weighted by slots, not occurrences; schema
+	// v2, empty on v1 records).
+	CommitStalls []PCCount `json:"commit_stalls,omitempty"`
 }
 
 // RunMeta names one simulation point for record assembly.
@@ -80,6 +84,10 @@ type RunRecord struct {
 
 	Summary Summary   `json:"summary"`
 	Totals  stats.Sim `json:"totals"`
+	// CPI is the top-down commit-slot attribution (schema v2; zero on
+	// decoded v1 records and on runs without CPI accounting). Invariant:
+	// CPI.Total() == Totals.Cycles × CommitWidth when present.
+	CPI stats.CPIStack `json:"cpi"`
 
 	// IntervalInsts is the sampling period of Intervals (0 when the run
 	// carried no interval sampling, e.g. memoized tvpreport points).
@@ -160,6 +168,13 @@ func NewSweepLog() *SweepLog {
 // figures) update the run counters but keep a single record, marked
 // Cached if any occurrence was a cache recall.
 func (l *SweepLog) Add(meta RunMeta, totals stats.Sim) {
+	l.AddCPI(meta, totals, nil)
+}
+
+// AddCPI is Add for runs that carried CPI-stack accounting; the stack is
+// embedded in the point's record (and backfilled onto a CPI-less
+// duplicate from another figure).
+func (l *SweepLog) AddCPI(meta RunMeta, totals stats.Sim, cpi *stats.CPIStack) {
 	key := sweepKey{
 		workload:   meta.Workload,
 		warmup:     meta.Warmup,
@@ -185,10 +200,17 @@ func (l *SweepLog) Add(meta RunMeta, totals stats.Sim) {
 		if meta.Cached {
 			l.records[i].Cached = true
 		}
+		if cpi != nil && l.records[i].CPI == (stats.CPIStack{}) {
+			l.records[i].CPI = *cpi
+		}
 		return
 	}
 	l.byKey[key] = len(l.records)
-	l.records = append(l.records, NewRunRecord(meta, totals))
+	rec := NewRunRecord(meta, totals)
+	if cpi != nil {
+		rec.CPI = *cpi
+	}
+	l.records = append(l.records, rec)
 }
 
 // Records returns the collected run records in first-seen order.

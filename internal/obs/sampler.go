@@ -37,6 +37,10 @@ type Sample struct {
 
 	// Delta holds every counter accumulated in this interval.
 	Delta stats.Sim `json:"delta"`
+	// CPIDelta holds the commit slots attributed per bucket in this
+	// interval (schema v2; zero when the run carried no CPI accounting).
+	// The per-run interval CPIDeltas sum to the record's CPI block.
+	CPIDelta stats.CPIStack `json:"cpi_delta"`
 }
 
 // Sampler builds the interval time series from the snapshot stream the
@@ -53,6 +57,14 @@ type Sampler struct {
 	lastInst  uint64
 	lastCycle uint64
 	samples   []Sample
+
+	// CPI staging: the pipeline delivers the CPI snapshot (ObserveCPI)
+	// immediately before each counter snapshot (Observe), so pendingCPI
+	// holds the stack aligned with the Observe about to close an
+	// interval; lastCPI is the previous boundary's stack. Both stay zero
+	// on runs without CPI accounting.
+	pendingCPI stats.CPIStack
+	lastCPI    stats.CPIStack
 }
 
 // NewSampler returns a sampler with the given period (0 or negative
@@ -75,17 +87,25 @@ func (s *Sampler) Observe(committed, cycle uint64, st *stats.Sim) {
 		s.last = *st
 		s.lastInst = committed
 		s.lastCycle = cycle
+		s.lastCPI = s.pendingCPI
 		return
 	}
 	if committed == s.lastInst {
 		return
 	}
 	delta := stats.Sub(st, &s.last)
-	s.samples = append(s.samples, makeSample(s.lastInst, committed, s.lastCycle, cycle, delta, s.Every))
+	sm := makeSample(s.lastInst, committed, s.lastCycle, cycle, delta, s.Every)
+	sm.CPIDelta = stats.SubCPI(&s.pendingCPI, &s.lastCPI)
+	s.samples = append(s.samples, sm)
 	s.last = *st
 	s.lastInst = committed
 	s.lastCycle = cycle
+	s.lastCPI = s.pendingCPI
 }
+
+// ObserveCPI stages the CPI-stack snapshot for the Observe call that
+// immediately follows it (the pipeline's CPISample→Sample ordering).
+func (s *Sampler) ObserveCPI(cs *stats.CPIStack) { s.pendingCPI = *cs }
 
 // Samples returns the accumulated series (shared slice; callers must not
 // append).

@@ -29,6 +29,10 @@ type Telemetry struct {
 	vpFlush *TopPC
 	brMiss  *TopPC
 	l1dMiss *TopPC
+	// CPI-stack observation (cpistack.go): Telemetry also satisfies
+	// pipeline.CPIProbe, so attaching it arms commit-slot accounting.
+	commitStall *TopPC
+	cpi         stats.CPIStack // latest snapshot (run totals at the tail)
 }
 
 // New returns a Telemetry with defaults filled in.
@@ -43,11 +47,12 @@ func New(cfg Config) *Telemetry {
 		cfg.TableCap = DefaultTableCap
 	}
 	return &Telemetry{
-		cfg:     cfg,
-		sampler: NewSampler(cfg.Interval),
-		vpFlush: NewTopPC(cfg.TableCap),
-		brMiss:  NewTopPC(cfg.TableCap),
-		l1dMiss: NewTopPC(cfg.TableCap),
+		cfg:         cfg,
+		sampler:     NewSampler(cfg.Interval),
+		vpFlush:     NewTopPC(cfg.TableCap),
+		brMiss:      NewTopPC(cfg.TableCap),
+		l1dMiss:     NewTopPC(cfg.TableCap),
+		commitStall: NewTopPC(cfg.TableCap),
 	}
 }
 
@@ -74,6 +79,7 @@ func (t *Telemetry) Samples() []Sample { return t.sampler.Samples() }
 // Record assembles the fully instrumented RunRecord for the observed run.
 func (t *Telemetry) Record(meta RunMeta, totals stats.Sim) *RunRecord {
 	rec := NewRunRecord(meta, totals)
+	rec.CPI = t.cpi
 	rec.IntervalInsts = t.cfg.Interval
 	rec.Intervals = t.sampler.Samples()
 	rec.Attribution = &Attribution{
@@ -82,6 +88,7 @@ func (t *Telemetry) Record(meta RunMeta, totals stats.Sim) *RunRecord {
 		VPFlushes:         t.vpFlush.Top(t.cfg.TopK),
 		BranchMispredicts: t.brMiss.Top(t.cfg.TopK),
 		L1DMisses:         t.l1dMiss.Top(t.cfg.TopK),
+		CommitStalls:      t.commitStall.Top(t.cfg.TopK),
 	}
 	return rec
 }

@@ -46,13 +46,18 @@ func NewTopPC(capacity int) *TopPC {
 // Touch counts one event at pc. The instruction pointer is retained for
 // disassembly at report time (instructions are owned by the Program,
 // which outlives the run).
-func (t *TopPC) Touch(pc uint64, in *isa.Inst) {
+func (t *TopPC) Touch(pc uint64, in *isa.Inst) { t.Add(pc, in, 1) }
+
+// Add counts n events at pc in one update — the weighted form Touch
+// wraps, used by slot-weighted attribution (CPI-stack commit stalls
+// credit a whole cycle's or skipped span's idle slots at once).
+func (t *TopPC) Add(pc uint64, in *isa.Inst, n uint64) {
 	if e, ok := t.m[pc]; ok {
-		e.count++
+		e.count += n
 		return
 	}
 	if len(t.m) < t.cap {
-		t.m[pc] = &pcEntry{pc: pc, count: 1, inst: in}
+		t.m[pc] = &pcEntry{pc: pc, count: n, inst: in}
 		return
 	}
 	// Space-saving eviction. The O(cap) minimum scan only runs when a
@@ -69,7 +74,7 @@ func (t *TopPC) Touch(pc uint64, in *isa.Inst) {
 		}
 	}
 	delete(t.m, min.pc)
-	min.pc, min.count, min.inst = pc, min.count+1, in
+	min.pc, min.count, min.inst = pc, min.count+n, in
 	t.m[pc] = min
 }
 

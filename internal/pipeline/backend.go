@@ -323,6 +323,7 @@ func (c *Core) issueStore(u *uop) {
 		if l.seq > u.seq && l.executedMem && overlaps(l.ea, l.memSize, u.ea, u.memSize) {
 			c.ssets.Violation(l.dyn.PC, u.dyn.PC)
 			c.st.MemOrderFlushes++
+			c.redirectCause = redirectMem
 			c.flush(l.seq, uint64(c.cfg.MemOrderFlushPenalty))
 			return
 		}
@@ -410,6 +411,7 @@ func (c *Core) validateVP(u *uop) bool {
 	if c.hooks != nil {
 		c.hooks.VPFlush(u.dyn.PC, u.dyn.Inst)
 	}
+	c.redirectCause = redirectVP
 	if u.vpWide {
 		// GVP: the instruction owns a physical register; the correct
 		// result overwrites the prediction and only younger µops squash.
@@ -479,6 +481,15 @@ func (c *Core) commit() {
 			c.xcheck.retireUop(c, u)
 		}
 		c.trace(u, StageCommit)
+		if c.acct != nil {
+			// CPI stack: this commit slot retired a µop (counted here,
+			// after retire-time validation, so a flushed µop never counts).
+			if u.eliminated && u.elimOrigin == rename.OriginSpSR {
+				c.acct.spsr++
+			} else {
+				c.acct.retired++
+			}
+		}
 		c.st.UOps++
 		if u.last {
 			c.st.ArchInsts++

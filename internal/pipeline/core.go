@@ -125,6 +125,17 @@ type Core struct {
 	probe            Probe
 	hooks            Probe // probe's event hooks, armed at the warmup boundary
 
+	// Top-down CPI-stack accounting (cpistack.go). acct is nil until the
+	// warmup boundary of a run with accounting requested (EnableCPIStack
+	// or an attached CPIProbe), so the detached hot path pays one
+	// nil-check per cycle. redirectCause is maintained unconditionally
+	// (flush paths are cold) and read only by the classifier.
+	cpiOn         bool
+	acct          *cpiAcct
+	cpiProbe      CPIProbe // probe's CPI extension, if it has one
+	cpiHooks      CPIProbe // armed alongside acct at the warmup boundary
+	redirectCause uint8
+
 	committed   uint64 // committed architectural instructions (total)
 	lastCommitC uint64 // cycle of the last commit (deadlock detection)
 
@@ -226,6 +237,10 @@ type Result struct {
 	Cycles    uint64 // total cycles including warmup
 	Committed uint64 // total committed architectural instructions
 	Halted    bool   // the program ran to completion
+	// CPI is the post-warmup commit-slot attribution (zero unless
+	// EnableCPIStack was called or a CPIProbe was attached). Invariant:
+	// CPI.Total() == Stats.Cycles × CommitWidth, exactly.
+	CPI stats.CPIStack
 }
 
 // Run simulates until maxInsts architectural instructions have committed
@@ -238,32 +253,19 @@ func (c *Core) Run(warmup, maxInsts uint64) Result {
 	// instruction count of the next sample, 0 while sampling is off, so
 	// the probe-less hot loop pays a single always-false comparison.
 	var probeEvery, probeNext uint64
-	if c.probe != nil {
-		probeEvery = c.probe.SampleEvery()
-		if warmed {
-			c.hooks = c.probe
-			c.syncMemStats()
-			c.probe.Sample(c.committed, c.cycle, &c.st)
-			if probeEvery > 0 {
-				probeNext = c.committed + probeEvery
-			}
-		}
+	if warmed {
+		probeEvery, probeNext = c.armObservers()
 	}
 	for {
 		if !warmed && c.committed >= warmup {
 			c.syncMemStats()
 			warmSnap = c.st
 			warmed = true
-			if c.probe != nil {
-				c.hooks = c.probe
-				c.probe.Sample(c.committed, c.cycle, &c.st)
-				if probeEvery > 0 {
-					probeNext = c.committed + probeEvery
-				}
-			}
+			probeEvery, probeNext = c.armObservers()
 		}
 		if probeNext != 0 && c.committed >= probeNext {
 			c.syncMemStats()
+			c.cpiSample()
 			c.probe.Sample(c.committed, c.cycle, &c.st)
 			probeNext = c.committed + probeEvery
 		}
@@ -279,6 +281,7 @@ func (c *Core) Run(warmup, maxInsts uint64) Result {
 		warmSnap = stats.Sim{} // program shorter than warmup: count it all
 	}
 	c.syncMemStats()
+	c.cpiSample() // tail CPI snapshot, before the tail counter sample
 	if c.probe != nil {
 		c.probe.Sample(c.committed, c.cycle, &c.st) // tail sample
 	}
@@ -286,6 +289,9 @@ func (c *Core) Run(warmup, maxInsts uint64) Result {
 		Cycles:    c.cycle,
 		Committed: c.committed,
 		Halted:    c.haltSeen && c.robCnt == 0,
+	}
+	if c.acct != nil {
+		res.CPI = c.acct.st
 	}
 	if c.xcheck != nil && res.Halted {
 		c.xcheck.finish()
@@ -302,6 +308,9 @@ func (c *Core) step() {
 	if c.skipOK {
 		c.trySkip()
 	}
+	if c.acct != nil {
+		c.cpiBegin()
+	}
 	c.complete()
 	c.commit()
 	c.issue()
@@ -309,6 +318,9 @@ func (c *Core) step() {
 	c.renameStage()
 	c.decode()
 	c.fetch()
+	if c.acct != nil {
+		c.cpiAccount()
+	}
 	c.cycle++
 	c.st.Cycles++
 	if c.cycle-c.lastCommitC > deadlockWindow {

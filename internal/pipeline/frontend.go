@@ -222,6 +222,10 @@ func (c *Core) renameStage() {
 		}
 		c.robCnt++
 		c.dispCnt++
+		// A µop entering the ROB ends the post-flush refill window: from
+		// here empty-ROB idle slots are no longer the old redirect's fault
+		// (CPI-stack classifier, cpistack.go).
+		c.redirectCause = redirectNone
 		c.renameUop(u, idx, e)
 		c.trace(u, StageRename)
 	}

@@ -210,6 +210,13 @@ func (c *Core) trySkip() {
 	}
 
 	delta := w - n
+	// CPI stack: the whole span is idle, so its delta × CommitWidth
+	// commit slots all classify as cycle n would have (every classifier
+	// input is frozen across the span — see cpistack.go). Credited before
+	// the state mutations below so classifyIdle(n, …) sees span state.
+	if c.acct != nil {
+		c.cpiSkip(n, delta, renROB || renPRF || dispBlock != dispNone)
+	}
 	c.cycle = w
 	c.st.Cycles += delta
 	c.skipped += delta

@@ -7,6 +7,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/isa"
 	"repro/internal/rename"
+	"repro/internal/stats"
 	"repro/internal/vp"
 )
 
@@ -240,6 +241,38 @@ func WriteValidation(w io.Writer, speedup, prfReads [2]float64) {
 	fmt.Fprintf(w, "%-12s %9s %14s\n", "scheme", "geomean%", "PRF reads %")
 	fmt.Fprintf(w, "%-12s %+9.2f %14.2f\n", "execute", speedup[0], prfReads[0])
 	fmt.Fprintf(w, "%-12s %+9.2f %14.2f\n", "retire", speedup[1], prfReads[1])
+}
+
+// WriteCPIStacks renders the top-down cycle accounting breakdown: for
+// each workload, the percent of post-warmup commit slots per bucket
+// under the baseline and under TVP+SpSR. Each row sums to 100% by the
+// exact-decomposition invariant.
+func WriteCPIStacks(w io.Writer, rows []CPIRow) {
+	fmt.Fprintln(w, "CPI stack — % of commit slots by top-down bucket (base vs TVP+SpSR)")
+	fmt.Fprintf(w, "%-22s %-5s", "workload", "cfg")
+	for _, b := range (&stats.CPIStack{}).Buckets() {
+		fmt.Fprintf(w, " %8s", b.Name)
+	}
+	fmt.Fprintln(w)
+	// Three decimals: rare-event buckets (bad-vp under a warmed-up
+	// confident predictor) are real at the 0.005% scale and must not
+	// render as 0.00.
+	pr := func(name, cfg string, s *stats.CPIStack) {
+		fmt.Fprintf(w, "%-22s %-5s", name, cfg)
+		total := float64(s.Total())
+		for _, b := range s.Buckets() {
+			p := 0.0
+			if total > 0 {
+				p = 100 * float64(b.Slots) / total
+			}
+			fmt.Fprintf(w, " %8.3f", p)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, r := range rows {
+		pr(r.Workload, "base", &r.Base)
+		pr("", "tvp", &r.TVP)
+	}
 }
 
 // WritePrefetch renders the §6.2 stride-prefetcher interaction study.

@@ -53,7 +53,9 @@ type Config struct {
 	// discipline — use it for quick sweeps, not for EXPERIMENTS.md.
 	FastWarmup bool
 	// Workers bounds the number of concurrently executing simulations in
-	// a sweep (tvpreport -j). 0 means GOMAXPROCS. The worker count only
+	// a sweep (tvpreport -j). <= 0 means runtime.NumCPU() — the sweeps are
+	// CPU-bound, so the machine's core count is the right default even
+	// when GOMAXPROCS has been lowered. The worker count only
 	// changes wall time, never results: every sweep writes its stats into
 	// a per-spec slot and renders in spec order, so output is
 	// byte-identical from -j 1 to full parallelism
@@ -96,8 +98,13 @@ func (c Config) workers() int {
 	if c.Workers > 0 {
 		return c.Workers
 	}
-	return runtime.GOMAXPROCS(0)
+	return runtime.NumCPU()
 }
+
+// EffectiveWorkers reports the sweep pool width Config will actually use
+// (Workers, or runtime.NumCPU() when Workers <= 0) — for progress lines
+// and -j help text.
+func (c Config) EffectiveWorkers() int { return c.workers() }
 
 // runSpec names one timing run.
 type runSpec struct {

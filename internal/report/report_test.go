@@ -356,13 +356,16 @@ func TestSweepParallelismInvariance(t *testing.T) {
 	}
 }
 
-// TestWorkersDefault: Workers=0 falls back to GOMAXPROCS and explicit
-// bounds are honored.
+// TestWorkersDefault: Workers<=0 falls back to NumCPU and explicit
+// bounds are honored (exposed to callers via EffectiveWorkers).
 func TestWorkersDefault(t *testing.T) {
-	if got := (Config{}).workers(); got != runtime.GOMAXPROCS(0) {
-		t.Errorf("workers() = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	if got := (Config{}).workers(); got != runtime.NumCPU() {
+		t.Errorf("workers() = %d, want NumCPU = %d", got, runtime.NumCPU())
 	}
-	if got := (Config{Workers: 3}).workers(); got != 3 {
-		t.Errorf("workers() = %d, want 3", got)
+	if got := (Config{Workers: -1}).EffectiveWorkers(); got != runtime.NumCPU() {
+		t.Errorf("EffectiveWorkers(-1) = %d, want NumCPU = %d", got, runtime.NumCPU())
+	}
+	if got := (Config{Workers: 3}).EffectiveWorkers(); got != 3 {
+		t.Errorf("EffectiveWorkers() = %d, want 3", got)
 	}
 }

@@ -1,0 +1,118 @@
+package stats
+
+import "reflect"
+
+// CPIStack is the top-down cycle-accounting block: every post-warmup
+// commit slot (Cycles × CommitWidth slots total) is attributed to exactly
+// one bucket. Retiring slots split into regular retirement and the
+// SpSR-eliminated credit (µops that consumed a commit slot but were
+// strength-reduced away at rename — the paper's "bought back" work);
+// idle slots are classified by what blocked the ROB head that cycle.
+//
+// The exact-decomposition invariant — Total() == Cycles × CommitWidth,
+// bit-identical with cycle skipping on and off — is enforced by
+// TestCPIStackExactDecomposition in internal/pipeline.
+//
+// Like Sim, the block is flat uint64 counters with visible JSON tags so
+// records survive serialization losslessly; the statscomplete analyzer
+// promotes that shape to a compile-time check.
+type CPIStack struct {
+	// Retiring counts slots that committed a regular (non-eliminated)
+	// µop; RetiredSpSR counts slots that committed an SpSR-eliminated
+	// µop — work the strength-reduction engine removed from the backend.
+	Retiring    uint64 `json:"retiring"`
+	RetiredSpSR uint64 `json:"retired_spsr"`
+	// FrontendLatency: ROB empty because fetch is refilling after an
+	// L1I/ITLB miss, a BTB mistarget or taken-branch bubble, or a flush
+	// redirect. FrontendBandwidth: ROB empty with fetch unstalled — the
+	// frontend simply has not delivered µops to rename yet (pipe-stage
+	// refill, decode/rename delays, or program end).
+	FrontendLatency   uint64 `json:"frontend_latency"`
+	FrontendBandwidth uint64 `json:"frontend_bandwidth"`
+	// BadSpecBranch: ROB empty while fetch waits on an unresolved
+	// mispredicted branch (the trace-driven model's wrong-path cost).
+	// BadSpecVP: ROB empty while the frontend refills after a
+	// value-misprediction flush — the paper's cost side of using
+	// predictions.
+	BadSpecBranch uint64 `json:"bad_spec_branch"`
+	BadSpecVP     uint64 `json:"bad_spec_vp"`
+	// BackendMemory: the ROB head is an issued-but-incomplete load or
+	// store (L1D/L2/L3/TLB latency), or the frontend is refilling after
+	// a memory-order flush. BackendCore: the head is a non-memory µop
+	// still waiting in the scheduler or executing (IQ pressure, issue
+	// bandwidth, execution latency).
+	BackendMemory uint64 `json:"backend_memory"`
+	BackendCore   uint64 `json:"backend_core"`
+	// Structural: rename or dispatch blocked on a full ROB/IQ/LQ/SQ or
+	// an empty PRF this cycle (the five *FullStalls counters moved).
+	Structural uint64 `json:"structural"`
+}
+
+// SubCPI returns a-b per bucket (a after b, never negative when b is an
+// earlier snapshot of the same accumulation). Reflection-based like Sub,
+// so a new bucket can never be forgotten here.
+func SubCPI(a, b *CPIStack) CPIStack {
+	var out CPIStack
+	av := reflect.ValueOf(a).Elem()
+	bv := reflect.ValueOf(b).Elem()
+	ov := reflect.ValueOf(&out).Elem()
+	for i := 0; i < av.NumField(); i++ {
+		ov.Field(i).SetUint(av.Field(i).Uint() - bv.Field(i).Uint())
+	}
+	return out
+}
+
+// AddCPI accumulates o into s per bucket (heartbeat aggregation across
+// sweep workers).
+func (s *CPIStack) AddCPI(o *CPIStack) {
+	sv := reflect.ValueOf(s).Elem()
+	ov := reflect.ValueOf(o).Elem()
+	for i := 0; i < sv.NumField(); i++ {
+		sv.Field(i).SetUint(sv.Field(i).Uint() + ov.Field(i).Uint())
+	}
+}
+
+// Total sums every bucket; the exact-decomposition invariant pins it to
+// Cycles × CommitWidth.
+func (s *CPIStack) Total() uint64 {
+	v := reflect.ValueOf(s).Elem()
+	var n uint64
+	for i := 0; i < v.NumField(); i++ {
+		n += v.Field(i).Uint()
+	}
+	return n
+}
+
+// CPIBucket is one named slot count, for rendering.
+type CPIBucket struct {
+	Name  string
+	Slots uint64
+}
+
+// Buckets returns the stack in canonical render order with short column
+// names. TestCPIStackBucketsComplete pins the list to the struct fields.
+func (s *CPIStack) Buckets() []CPIBucket {
+	return []CPIBucket{
+		{"retire", s.Retiring},
+		{"spsr", s.RetiredSpSR},
+		{"fe-lat", s.FrontendLatency},
+		{"fe-bw", s.FrontendBandwidth},
+		{"bad-br", s.BadSpecBranch},
+		{"bad-vp", s.BadSpecVP},
+		{"be-mem", s.BackendMemory},
+		{"be-core", s.BackendCore},
+		{"struct", s.Structural},
+	}
+}
+
+// Top returns the largest bucket (earliest in canonical order on ties) —
+// the heartbeat's one-word bottleneck readout.
+func (s *CPIStack) Top() CPIBucket {
+	var top CPIBucket
+	for _, b := range s.Buckets() {
+		if b.Slots > top.Slots {
+			top = b
+		}
+	}
+	return top
+}

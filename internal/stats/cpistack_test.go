@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fillCPIStack sets every bucket to a distinct nonzero value derived from
+// offset, via reflection so new buckets are covered automatically.
+func fillCPIStack(offset uint64) CPIStack {
+	var s CPIStack
+	v := reflect.ValueOf(&s).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		v.Field(i).SetUint(offset + uint64(i)*17)
+	}
+	return s
+}
+
+func TestSubCPICoversEveryBucket(t *testing.T) {
+	a := fillCPIStack(2000)
+	b := fillCPIStack(1000)
+	d := SubCPI(&a, &b)
+	dv := reflect.ValueOf(d)
+	for i := 0; i < dv.NumField(); i++ {
+		if got := dv.Field(i).Uint(); got != 1000 {
+			t.Errorf("bucket %s: delta %d, want 1000", dv.Type().Field(i).Name, got)
+		}
+	}
+}
+
+func TestAddCPICoversEveryBucket(t *testing.T) {
+	a := fillCPIStack(1000)
+	b := fillCPIStack(5)
+	a.AddCPI(&b)
+	av := reflect.ValueOf(a)
+	for i := 0; i < av.NumField(); i++ {
+		if got, want := av.Field(i).Uint(), 1005+uint64(i)*34; got != want {
+			t.Errorf("bucket %s: sum %d, want %d", av.Type().Field(i).Name, got, want)
+		}
+	}
+}
+
+func TestCPIStackTotal(t *testing.T) {
+	s := fillCPIStack(10)
+	var want uint64
+	v := reflect.ValueOf(s)
+	for i := 0; i < v.NumField(); i++ {
+		want += v.Field(i).Uint()
+	}
+	if got := s.Total(); got != want {
+		t.Errorf("Total() = %d, want %d", got, want)
+	}
+}
+
+// TestCPIStackBucketsComplete pins Buckets() to the struct: every field
+// appears exactly once with a unique name, and the values line up. A new
+// field added without a render entry fails here.
+func TestCPIStackBucketsComplete(t *testing.T) {
+	s := fillCPIStack(100)
+	bs := s.Buckets()
+	v := reflect.ValueOf(s)
+	if len(bs) != v.NumField() {
+		t.Fatalf("Buckets() has %d entries, struct has %d fields", len(bs), v.NumField())
+	}
+	var sum uint64
+	seen := map[string]bool{}
+	for _, b := range bs {
+		if b.Name == "" || seen[b.Name] {
+			t.Errorf("bucket name %q empty or duplicated", b.Name)
+		}
+		seen[b.Name] = true
+		sum += b.Slots
+	}
+	if sum != s.Total() {
+		t.Errorf("Buckets() sum %d != Total() %d", sum, s.Total())
+	}
+}
+
+func TestCPIStackTop(t *testing.T) {
+	var s CPIStack
+	if top := s.Top(); top.Slots != 0 {
+		t.Errorf("zero stack Top() = %+v, want zero slots", top)
+	}
+	s.BackendMemory = 50
+	s.Retiring = 49
+	if top := s.Top(); top.Name != "be-mem" || top.Slots != 50 {
+		t.Errorf("Top() = %+v, want be-mem/50", top)
+	}
+	s.Retiring = 50 // tie: canonical order wins
+	if top := s.Top(); top.Name != "retire" {
+		t.Errorf("tie Top() = %+v, want retire", top)
+	}
+}
