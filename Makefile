@@ -7,6 +7,7 @@
 #   make bench        # the E1–E14 benchmark sweep + simulator throughput
 #   make bench-guard  # fail if hot-path allocations regress past baseline
 #   make fuzz-smoke   # short differential-fuzzing pass per native target
+#   make verify-suite # encode + statically verify every built-in workload
 #   make report       # regenerate the full EXPERIMENTS.md report
 
 GO ?= go
@@ -36,11 +37,11 @@ BENCH_GUARD_ALLOCS ?= 285
 # not flapping on a slow host minute.
 BENCH_GUARD_MIPS ?= 2.60
 
-.PHONY: check vet lint build test race bench bench-guard fuzz-smoke report
+.PHONY: check vet lint build test race bench bench-guard fuzz-smoke verify-suite report
 
 # lint runs before test so an invariant violation fails fast, before the
 # (much slower) full suite.
-check: vet lint build race test fuzz-smoke bench-guard
+check: vet lint build race test verify-suite fuzz-smoke bench-guard
 
 vet:
 	$(GO) vet ./...
@@ -87,10 +88,20 @@ bench-guard:
 # invocation, so each native target gets its own short exploration run.
 # FuzzCrossCheck drives random programs through the pipeline against the
 # shadow-emulator oracle; FuzzMetamorphic asserts timing-configuration
-# changes never alter architectural results.
+# changes never alter architectural results; FuzzVerify mutates encoded
+# binaries against the static verifier's soundness contract (an accepted
+# binary must execute without panics or out-of-window accesses).
 fuzz-smoke:
 	$(GO) test ./internal/fuzzgen -run='^$$' -fuzz='^FuzzCrossCheck$$' -fuzztime=$(FUZZ_TIME)
 	$(GO) test ./internal/fuzzgen -run='^$$' -fuzz='^FuzzMetamorphic$$' -fuzztime=$(FUZZ_TIME)
+	$(GO) test ./internal/isa/verify -run='^$$' -fuzz='^FuzzVerify$$' -fuzztime=$(FUZZ_TIME)
+
+# Binary-ingestion gate: every built-in workload must round-trip through
+# the TVPB container and come back through the static verifier with zero
+# Error findings, and the committed promoted corpus must match the
+# generator bit-for-bit (see internal/workload/ingest_test.go).
+verify-suite:
+	$(GO) test ./internal/workload -run='^(TestEncodedSuiteVerifies|TestPromotedCorpusBitExact)$$' -count=1
 
 report:
 	$(GO) run ./cmd/tvpreport -cachestats

@@ -9,6 +9,11 @@
 //	tvpdump -workload 623_xalancbmk_s -disasm
 //	tvpdump -workload 605_mcf_s -trace 50
 //	tvpdump -workload 600_perlbench_s_1 -values 200000
+//	tvpdump -workload 605_mcf_s -encode mcf.tvpb
+//
+// -encode writes the built program as a TVPB container — the binary
+// interchange format tvpsim re-ingests behind the static verifier
+// (tvpsim -load / -verify).
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 
 	"repro/internal/emu"
 	"repro/internal/isa"
+	"repro/internal/isa/tvpb"
 	"repro/internal/workload"
 )
 
@@ -28,6 +34,7 @@ func main() {
 		disasm = flag.Bool("disasm", false, "print the static program")
 		trace  = flag.Int("trace", 0, "dump the first N dynamic instructions")
 		values = flag.Int("values", 0, "histogram GPR result values over N instructions")
+		encode = flag.String("encode", "", "write the program as a TVPB container to this file")
 	)
 	flag.Parse()
 	if *wl == "" {
@@ -40,6 +47,16 @@ func main() {
 		os.Exit(2)
 	}
 	p := spec.Build()
+
+	if *encode != "" {
+		data := tvpb.EncodeProgram(p)
+		if err := os.WriteFile(*encode, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "tvpdump:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: wrote %d bytes (%d instructions, %d segments) to %s\n",
+			p.Name, len(data), len(p.Code), len(p.Data), *encode)
+	}
 
 	if *disasm {
 		fmt.Printf("%s: %d instructions, %d data segments\n", p.Name, len(p.Code), len(p.Data))

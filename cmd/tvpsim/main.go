@@ -10,7 +10,17 @@
 //	tvpsim -workload 602_gcc_s_1 -vp tvp -json > run.ndjson
 //	tvpsim -workload 602_gcc_s_1 -vp tvp -cpistack
 //	tvpsim -workload 602_gcc_s_1 -konata trace.log
+//	tvpsim -verify prog.tvpb
+//	tvpsim -load prog.tvpb -vp tvp
 //	tvpsim -list
+//
+// -verify statically lints a TVPB-encoded binary (internal/isa/verify)
+// and exits nonzero on any Error-severity finding without simulating.
+// -load ingests a binary through the same verifier gate and, if it is
+// admitted, simulates it with the shadow-emulator retire checker
+// forced on and prints the functional architectural hash alongside the
+// usual statistics row — a rejected binary exits nonzero with the
+// structured diagnostics on stderr.
 package main
 
 import (
@@ -25,6 +35,8 @@ import (
 
 	tvp "repro"
 	"repro/internal/config"
+	"repro/internal/emu"
+	"repro/internal/isa/verify"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/stats"
@@ -217,6 +229,66 @@ func runPipetrace(name string, mode tvp.VPMode, spsr bool, n int) {
 	core.Run(0, uint64(n)+64)
 }
 
+// runVerifyOnly statically verifies a TVPB container and prints every
+// finding (Info/Warn/Error). Exit status: 0 admitted, 2 rejected.
+func runVerifyOnly(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tvpsim:", err)
+		return 2
+	}
+	p, res := verify.Binary(data, verify.Options{})
+	for _, d := range res.Diags {
+		fmt.Println(d)
+	}
+	if !res.OK() {
+		fmt.Printf("%s: REJECTED (%d error finding(s))\n", path, len(res.Errors()))
+		return 2
+	}
+	fmt.Printf("%s: OK — %s, %d instructions verified in %d memory round(s)\n",
+		path, p.Name, len(p.Code), res.MemIters)
+	return 0
+}
+
+// runLoad ingests a TVPB container through the verifier gate and, when
+// admitted, simulates it with the retire cross-checker forced on. The
+// functional architectural hash over the simulated instruction window
+// is printed so two hosts running the same binary can diff one line.
+func runLoad(path string, mode tvp.VPMode, spsr bool, warm, insts uint64) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tvpsim:", err)
+		return 2
+	}
+	p, res, err := workload.FromEncoded(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tvpsim:", err)
+		for _, d := range res.Errors() {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		return 2
+	}
+	for _, d := range res.Diags {
+		fmt.Fprintln(os.Stderr, d) // surviving Warn/Info lint findings
+	}
+	// Ingested binaries always run against the shadow-emulator oracle:
+	// the verifier proves memory safety and termination, the oracle
+	// proves the timing model retires the same architectural state.
+	r, err := tvp.Run(tvp.Options{Program: p, VP: mode, SpSR: spsr,
+		Warmup: warm, MaxInsts: insts, CrossCheck: true})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tvpsim:", err)
+		return 1
+	}
+	e := emu.New(p)
+	e.Run(warm+insts, nil)
+	printHeader()
+	printRow(r.Workload, &r.Stats)
+	fmt.Printf("archhash %#016x over %d functionally executed instructions\n",
+		e.ArchHash(), e.Executed())
+	return 0
+}
+
 func main() {
 	var (
 		wl      = flag.String("workload", "", "workload name (see -list)")
@@ -236,6 +308,8 @@ func main() {
 		cpuprof = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		xcheck  = flag.Bool("crosscheck", false, "arm the shadow-emulator retire checker (gem5-style differential validation; panics on the first divergence)")
+		load    = flag.String("load", "", "ingest a TVPB-encoded binary through the static verifier and simulate it (crosscheck forced on)")
+		verifyP = flag.String("verify", "", "statically verify a TVPB-encoded binary and exit (no simulation)")
 	)
 	flag.Parse()
 
@@ -297,10 +371,18 @@ func main() {
 		}
 		return
 	}
+	if *verifyP != "" {
+		exitCode = runVerifyOnly(*verifyP)
+		return
+	}
 	mode, err := parseVP(*vpFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tvpsim:", err)
 		os.Exit(2)
+	}
+	if *load != "" {
+		exitCode = runLoad(*load, mode, *spsr, *warm, *insts)
+		return
 	}
 
 	names := []string{*wl}

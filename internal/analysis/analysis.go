@@ -6,6 +6,11 @@
 // complete counter serialization (statscomplete), and a
 // wall-clock/environment-free simulator core (nondet).
 //
+// The runner also audits the //tvplint:ignore escape hatch itself: an
+// ignore comment that silenced nothing this run, carries no reason, or
+// names an analyzer that does not exist is reported as a "staleignore"
+// finding, so suppressions cannot quietly outlive the code they excuse.
+//
 // The types here mirror the golang.org/x/tools/go/analysis API
 // (Analyzer, Pass, Diagnostic) so the suite can be ported to a real
 // vettool with mechanical changes once external modules are available;
@@ -57,41 +62,53 @@ type Analyzer struct {
 // every silenced finding carries its justification next to the code.
 var ignoreRE = regexp.MustCompile(`^//tvplint:ignore ([a-z]+)(?:\s+(.*))?$`)
 
-// suppression is one parsed //tvplint:ignore comment.
+// suppression is one parsed //tvplint:ignore comment. used flips when
+// the suppression actually silences a diagnostic, which is what the
+// staleignore audit keys on afterwards.
 type suppression struct {
 	analyzer string
 	reason   string
+	pos      token.Pos
+	used     bool
 }
 
 // suppressionIndex maps file name → line → suppressions on that line. A
 // diagnostic is suppressed by a matching comment on its own line or on
 // the line immediately above.
-type suppressionIndex map[string]map[int][]suppression
+type suppressionIndex map[string]map[int][]*suppression
 
 func buildSuppressions(fset *token.FileSet, files []*ast.File) suppressionIndex {
 	idx := suppressionIndex{}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				m := ignoreRE.FindStringSubmatch(c.Text)
+				text := c.Text
+				// Golden fixtures append their expectation to the
+				// ignore line (analysistest-style "// want" metadata);
+				// it is never part of the suppression reason.
+				if i := strings.Index(text, " // want "); i >= 0 {
+					text = text[:i]
+				}
+				m := ignoreRE.FindStringSubmatch(text)
 				if m == nil {
 					continue
 				}
 				pos := fset.Position(c.Pos())
 				lines := idx[pos.Filename]
 				if lines == nil {
-					lines = map[int][]suppression{}
+					lines = map[int][]*suppression{}
 					idx[pos.Filename] = lines
 				}
 				lines[pos.Line] = append(lines[pos.Line],
-					suppression{analyzer: m[1], reason: strings.TrimSpace(m[2])})
+					&suppression{analyzer: m[1], reason: strings.TrimSpace(m[2]), pos: c.Pos()})
 			}
 		}
 	}
 	return idx
 }
 
-// suppressed reports whether d is covered by a justified ignore comment.
+// suppressed reports whether d is covered by a justified ignore
+// comment, marking the first covering suppression as used.
 func (idx suppressionIndex) suppressed(fset *token.FileSet, d Diagnostic) bool {
 	pos := fset.Position(d.Pos)
 	lines := idx[pos.Filename]
@@ -101,11 +118,57 @@ func (idx suppressionIndex) suppressed(fset *token.FileSet, d Diagnostic) bool {
 	for _, line := range []int{pos.Line, pos.Line - 1} {
 		for _, s := range lines[line] {
 			if s.analyzer == d.Analyzer && s.reason != "" {
+				s.used = true
 				return true
 			}
 		}
 	}
 	return false
+}
+
+// staleDiags audits the suppression index after filtering. Every ignore
+// comment must have earned its keep during this run: one that names an
+// analyzer outside the active set, carries no reason, or silenced
+// nothing is itself reported (as analyzer "staleignore"), so the escape
+// hatch cannot outlive the finding it was written for. These findings
+// are not themselves suppressible — the fix is always to repair or
+// delete the ignore comment.
+func (idx suppressionIndex) staleDiags(analyzers []*Analyzer) []Diagnostic {
+	active := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		active[a.Name] = true
+	}
+	var out []Diagnostic
+	files := make([]string, 0, len(idx))
+	for f := range idx {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		lines := idx[f]
+		nums := make([]int, 0, len(lines))
+		for n := range lines {
+			nums = append(nums, n)
+		}
+		sort.Ints(nums)
+		for _, n := range nums {
+			for _, s := range lines[n] {
+				d := Diagnostic{Pos: s.pos, Analyzer: "staleignore"}
+				switch {
+				case !active[s.analyzer]:
+					d.Message = fmt.Sprintf("ignore names unknown analyzer %q and can never suppress anything; delete it", s.analyzer)
+				case s.reason == "":
+					d.Message = fmt.Sprintf("ignore for %s has no justification and does not suppress; add a reason or delete it", s.analyzer)
+				case !s.used:
+					d.Message = fmt.Sprintf("stale ignore: %s no longer reports a finding here; delete the suppression", s.analyzer)
+				default:
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
 }
 
 // RunAnalyzers runs every analyzer over every loaded package and returns
@@ -146,7 +209,7 @@ func runOnPackage(fset *token.FileSet, pkg *Package, analyzers []*Analyzer) ([]D
 			kept = append(kept, d)
 		}
 	}
-	return kept, nil
+	return append(kept, idx.staleDiags(analyzers)...), nil
 }
 
 func sortDiagnostics(fset *token.FileSet, diags []Diagnostic) {

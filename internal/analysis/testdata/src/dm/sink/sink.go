@@ -52,7 +52,7 @@ func justified(m map[int]int) int {
 // unjustified carries a bare ignore without a reason: still flagged.
 func unjustified(m map[int]int) int {
 	s := 0
-	//tvplint:ignore detmap
+	//tvplint:ignore detmap // want "no justification"
 	for _, v := range m { // want "range over map m in output-path function unjustified"
 		s += v
 	}

@@ -29,11 +29,11 @@ func (s *S) hot(v int) {
 	_ = m
 	sl := []int{v} // want "slice literal allocates"
 	_ = sl
-	fmt.Println(v)  // want `fmt.Println boxes its arguments`
-	_ = any(v)      // want "conversion of int to interface"
-	sink(v)         // want "passing concrete int as interface parameter"
-	go helper()     // want "go statement allocates"
-	sink(nil)       // nil never boxes
+	fmt.Println(v) // want `fmt.Println boxes its arguments`
+	_ = any(v)     // want "conversion of int to interface"
+	sink(v)        // want "passing concrete int as interface parameter"
+	go helper()    // want "go statement allocates"
+	sink(nil)      // nil never boxes
 	for i := 0; i < 2; i++ {
 		defer helper() // want "defer inside a loop"
 	}
@@ -55,14 +55,19 @@ func (s *S) allowed(v int, cold bool) int {
 }
 
 // suppressed demonstrates the escape hatch: a justified ignore silences
-// the finding, a bare one does not.
+// the finding, a bare one does not, and the staleignore audit flags the
+// ignores that are bare, silence nothing, or misspell the analyzer.
 //
 //tvp:hotpath
 func (s *S) suppressed(v int) {
 	//tvplint:ignore hotpathalloc capacity is preallocated in the constructor, append never grows
 	s.buf = append(s.buf, v)
-	//tvplint:ignore hotpathalloc
+	//tvplint:ignore hotpathalloc // want "no justification"
 	s.buf = append(s.buf, v) // want "append may grow the backing array"
+	//tvplint:ignore hotpathalloc buf was preallocated here before the refactor // want "stale ignore"
+	s.buf[0] = v
+	//tvplint:ignore hotpathallok typo in the analyzer name // want "unknown analyzer"
+	s.buf[1] = v
 }
 
 // unannotated may allocate freely: no findings.

@@ -79,6 +79,7 @@ func (e *Emulator) setFloat(r isa.Reg, f float64) uint64 {
 }
 
 // op2 resolves the second operand of a two-source ALU instruction.
+//
 //tvp:hotpath
 func (e *Emulator) op2(in *isa.Inst) uint64 {
 	if in.UseImm {
@@ -184,6 +185,7 @@ func logicFlags(res uint64, w bool) (f isa.Flags) {
 
 // ea computes the effective address and the base-update value of a memory
 // instruction.
+//
 //tvp:hotpath
 func (e *Emulator) ea(in *isa.Inst) (ea, baseUpdate uint64) {
 	base := e.reg(in.Rn)
@@ -203,6 +205,7 @@ func (e *Emulator) ea(in *isa.Inst) (ea, baseUpdate uint64) {
 
 // Step executes the next instruction and fills d with its dynamic record.
 // It returns false when the program has halted (d is then invalid).
+//
 //tvp:hotpath
 func (e *Emulator) Step(d *DynInst) bool {
 	if e.halted {
@@ -287,7 +290,12 @@ func (e *Emulator) Step(d *DynInst) bool {
 			nv, dv = int64(int32(uint32(nv))), int64(int32(uint32(dv)))
 		}
 		var q int64
-		if dv != 0 {
+		switch {
+		case dv == -1:
+			// ARM SDIV has no overflow trap: MinInt64 / -1 wraps to
+			// MinInt64 (Go's runtime would panic on the division).
+			q = -nv
+		case dv != 0:
 			q = nv / dv
 		}
 		d.Result = e.setReg(in.Rd, uint64(q), w)

@@ -58,7 +58,15 @@ type gen struct {
 
 // Generate builds the program for the given seed. The same seed always
 // yields an identical program.
-func Generate(seed uint64) *prog.Program {
+func Generate(seed uint64) *prog.Program { return GenerateIters(seed, 0) }
+
+// GenerateIters builds the same program as Generate(seed) except for
+// the outer-loop trip count, which is overridden to iters when nonzero.
+// The random draw for the default count is consumed either way, so the
+// rest of the instruction stream stays bit-identical to Generate's.
+// The promoted suite members (internal/workload) pin seeds with an
+// effectively unbounded count so timing runs never exhaust the program.
+func GenerateIters(seed, iters uint64) *prog.Program {
 	g := &gen{r: xrand.New(seed), b: prog.NewBuilder(fmt.Sprintf("fuzz-%#016x", seed))}
 
 	constVals := make([]uint64, 8)
@@ -82,7 +90,11 @@ func Generate(seed uint64) *prog.Program {
 	g.b.MovImm(regDiv, uint64(1+g.r.Intn(7)))
 	g.b.MovAddr(regConst, constArea)
 	g.b.MovAddr(regArena, arena)
-	g.b.MovImm(regOuter, uint64(4+g.r.Intn(9)))
+	outer := uint64(4 + g.r.Intn(9))
+	if iters != 0 {
+		outer = iters
+	}
+	g.b.MovImm(regOuter, outer)
 
 	top := g.b.Here()
 	g.b.MovAddr(regWalk, arena+arenaMid)

@@ -573,6 +573,11 @@ func (in *Inst) String() string {
 	case TBZ, TBNZ:
 		return fmt.Sprintf("%s %s, #%d, .%d", in.Op, rn(in.Rn), in.Imm, in.Target)
 	case RET:
+		// ARM convention: the link register is implicit, so the common
+		// form renders bare and only a nonstandard Rn is spelled out.
+		if in.Rn == LR {
+			return "ret"
+		}
 		return fmt.Sprintf("ret %s", in.Rn)
 	case BR:
 		return fmt.Sprintf("br %s", in.Rn)

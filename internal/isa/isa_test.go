@@ -237,6 +237,24 @@ func TestInstStringSmoke(t *testing.T) {
 	}
 }
 
+func TestIndirectString(t *testing.T) {
+	// RET follows the ARM convention of leaving the link register
+	// implicit; BR and nonstandard RET operands spell the register out.
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: RET, Rn: LR}, "ret"},
+		{Inst{Op: RET, Rn: X5}, "ret x5"},
+		{Inst{Op: BR, Rn: X16}, "br x16"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%v disassembles to %q, want %q", c.in.Op, got, c.want)
+		}
+	}
+}
+
 func TestWFormString(t *testing.T) {
 	in := Inst{Op: ADD, Rd: X0, Rn: X1, Rm: X2, W: true}
 	if s := in.String(); !strings.Contains(s, "w0") {

@@ -1,0 +1,222 @@
+// Package tvpb implements the TVPB binary program container. The PR-4
+// instruction codec made single instructions an interchange format;
+// this package wraps a whole prog.Program — name, text, data segments —
+// into one self-describing byte stream so encoded programs can be
+// stored on disk, shipped between tools and re-ingested behind the
+// static verifier (internal/isa/verify).
+//
+// Layout (all integers little-endian):
+//
+//	offset 0   magic "TVPB"
+//	        4  u32 version (currently 1)
+//	        8  u32 name length, then that many bytes of name
+//	        .. u32 instruction count, then count × isa.EncodedSize bytes
+//	        .. u32 segment count, then per segment:
+//	               u64 base, u64 length, u8 kind, [length bytes if raw]
+//
+// Segment kind 0 is raw (length bytes of payload follow); kind 1 is
+// zero-fill (no payload). Zero-fill keeps containers for workloads with
+// multi-megabyte arenas small enough to commit as test corpora: the
+// decoder rebuilds the segment as length zero bytes, which is exactly
+// what prog.Builder.Alloc produced.
+package tvpb
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+const (
+	containerMagic   = "TVPB"
+	containerVersion = 1
+
+	segKindRaw  = 0
+	segKindZero = 1
+
+	maxNameLen  = 256
+	maxInsts    = 1 << 20
+	maxSegments = 1 << 12
+	maxSegBytes = 1 << 28 // 256 MiB across all segments
+)
+
+// EncodeProgram serializes a whole program (name, text, data segments)
+// into the TVPB container format. All-zero segments are stored as
+// zero-fill records with no payload.
+func EncodeProgram(p *prog.Program) []byte {
+	size := 4 + 4 + 4 + len(p.Name) + 4 + len(p.Code)*isa.EncodedSize + 4
+	for _, s := range p.Data {
+		size += 8 + 8 + 1
+		if !allZero(s.Bytes) {
+			size += len(s.Bytes)
+		}
+	}
+	out := make([]byte, 0, size)
+	out = append(out, containerMagic...)
+	out = binary.LittleEndian.AppendUint32(out, containerVersion)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(p.Name)))
+	out = append(out, p.Name...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(p.Code)))
+	for i := range p.Code {
+		buf := isa.Encode(&p.Code[i])
+		out = append(out, buf[:]...)
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(p.Data)))
+	for _, s := range p.Data {
+		out = binary.LittleEndian.AppendUint64(out, s.Base)
+		out = binary.LittleEndian.AppendUint64(out, uint64(len(s.Bytes)))
+		if allZero(s.Bytes) {
+			out = append(out, segKindZero)
+		} else {
+			out = append(out, segKindRaw)
+			out = append(out, s.Bytes...)
+		}
+	}
+	return out
+}
+
+// DecodeProgram parses a TVPB container back into a program. Every
+// field is validated — magic, version, bounded lengths, and each
+// instruction through the strict Decode codec — so arbitrary bytes
+// fail with a positioned error instead of producing a malformed
+// program.
+func DecodeProgram(data []byte) (*prog.Program, error) {
+	r := reader{buf: data}
+	magic := r.take(4)
+	if r.err != nil || string(magic) != containerMagic {
+		return nil, fmt.Errorf("tvpb: not a TVPB container (bad magic)")
+	}
+	if v := r.u32("version"); v != containerVersion {
+		if r.err != nil {
+			return nil, r.err
+		}
+		return nil, fmt.Errorf("tvpb: unsupported container version %d (want %d)", v, containerVersion)
+	}
+	nameLen := r.u32("name length")
+	if r.err == nil && nameLen > maxNameLen {
+		return nil, fmt.Errorf("tvpb: name length %d exceeds limit %d", nameLen, maxNameLen)
+	}
+	name := r.take(int(nameLen))
+	ninst := r.u32("instruction count")
+	if r.err == nil && ninst > maxInsts {
+		return nil, fmt.Errorf("tvpb: instruction count %d exceeds limit %d", ninst, maxInsts)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	code := make([]isa.Inst, ninst)
+	for i := range code {
+		raw := r.take(isa.EncodedSize)
+		if r.err != nil {
+			return nil, fmt.Errorf("tvpb: inst %d: %w", i, r.err)
+		}
+		var enc [isa.EncodedSize]byte
+		copy(enc[:], raw)
+		in, err := isa.Decode(enc)
+		if err != nil {
+			return nil, fmt.Errorf("tvpb: inst %d: %w", i, err)
+		}
+		code[i] = in
+	}
+	nseg := r.u32("segment count")
+	if r.err == nil && nseg > maxSegments {
+		return nil, fmt.Errorf("tvpb: segment count %d exceeds limit %d", nseg, maxSegments)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	segs := make([]prog.Segment, 0, nseg)
+	var total uint64
+	for i := 0; i < int(nseg); i++ {
+		base := r.u64("segment base")
+		length := r.u64("segment length")
+		kind := r.u8("segment kind")
+		if r.err != nil {
+			return nil, fmt.Errorf("tvpb: segment %d: %w", i, r.err)
+		}
+		total += length
+		if length > maxSegBytes || total > maxSegBytes {
+			return nil, fmt.Errorf("tvpb: segment %d: total segment bytes exceed limit %d", i, maxSegBytes)
+		}
+		if base+length < base {
+			return nil, fmt.Errorf("tvpb: segment %d: address range [%#x, %#x+%d) wraps", i, base, base, length)
+		}
+		var bytes []byte
+		switch kind {
+		case segKindRaw:
+			raw := r.take(int(length))
+			if r.err != nil {
+				return nil, fmt.Errorf("tvpb: segment %d: %w", i, r.err)
+			}
+			bytes = append([]byte(nil), raw...)
+		case segKindZero:
+			bytes = make([]byte, length)
+		default:
+			return nil, fmt.Errorf("tvpb: segment %d: unknown kind %d", i, kind)
+		}
+		segs = append(segs, prog.Segment{Base: base, Bytes: bytes})
+	}
+	if len(r.buf) != r.off {
+		return nil, fmt.Errorf("tvpb: %d trailing bytes after container", len(r.buf)-r.off)
+	}
+	return &prog.Program{Name: string(name), Code: code, Data: segs}, nil
+}
+
+func allZero(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// reader is a bounds-checked cursor over the container bytes; the first
+// short read poisons it so callers can check err once per record.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.buf) {
+		r.err = fmt.Errorf("truncated container (need %d bytes at offset %d, have %d)", n, r.off, len(r.buf)-r.off)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) u8(what string) byte {
+	b := r.take(1)
+	if r.err != nil {
+		r.err = fmt.Errorf("%s: %w", what, r.err)
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u32(what string) uint32 {
+	b := r.take(4)
+	if r.err != nil {
+		r.err = fmt.Errorf("%s: %w", what, r.err)
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) u64(what string) uint64 {
+	b := r.take(8)
+	if r.err != nil {
+		r.err = fmt.Errorf("%s: %w", what, r.err)
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}

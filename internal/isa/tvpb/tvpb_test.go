@@ -1,0 +1,109 @@
+package tvpb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// sample builds a program exercising both segment kinds: a raw segment
+// (the table holds nonzero label PCs) and a zero-fill arena.
+func sample() *prog.Program {
+	b := prog.NewBuilder("tvpb_sample")
+	tbl := b.AllocWords(2, 0x1234, 0x5678)
+	arena := b.Alloc(4096, 8)
+	b.MovAddr(isa.X0, tbl)
+	b.MovAddr(isa.X1, arena)
+	b.Ldr(isa.X2, isa.X0, 8, 8)
+	b.Str(isa.X2, isa.X1, 0, 8)
+	b.Halt()
+	return b.Build()
+}
+
+func TestRoundTrip(t *testing.T) {
+	p := sample()
+	data := EncodeProgram(p)
+	q, err := DecodeProgram(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != p.Name {
+		t.Errorf("name: got %q, want %q", q.Name, p.Name)
+	}
+	if len(q.Code) != len(p.Code) {
+		t.Fatalf("code: got %d insts, want %d", len(q.Code), len(p.Code))
+	}
+	for i := range p.Code {
+		if q.Code[i] != p.Code[i] {
+			t.Errorf("inst %d: got %+v, want %+v", i, q.Code[i], p.Code[i])
+		}
+	}
+	if len(q.Data) != len(p.Data) {
+		t.Fatalf("data: got %d segments, want %d", len(q.Data), len(p.Data))
+	}
+	for i := range p.Data {
+		if q.Data[i].Base != p.Data[i].Base || !bytes.Equal(q.Data[i].Bytes, p.Data[i].Bytes) {
+			t.Errorf("segment %d: base %#x/%#x, %d/%d bytes", i,
+				q.Data[i].Base, p.Data[i].Base, len(q.Data[i].Bytes), len(p.Data[i].Bytes))
+		}
+	}
+	// Re-encoding the decoded program must reproduce the container
+	// bit-for-bit: the corpus pinning tests depend on this.
+	if again := EncodeProgram(q); !bytes.Equal(again, data) {
+		t.Errorf("re-encode differs: %d vs %d bytes", len(again), len(data))
+	}
+}
+
+// TestZeroFillCompression checks that the all-zero arena costs its
+// 17-byte segment header, not its length, in the container.
+func TestZeroFillCompression(t *testing.T) {
+	b := prog.NewBuilder("z")
+	b.Alloc(1<<20, 8)
+	b.Halt()
+	data := EncodeProgram(b.Build())
+	if len(data) > 256 {
+		t.Fatalf("zero-fill arena not compressed: container is %d bytes", len(data))
+	}
+}
+
+// TestDecodeErrors corrupts the sample container one way per case and
+// requires a positioned error naming the damaged record.
+func TestDecodeErrors(t *testing.T) {
+	p := sample()
+	good := EncodeProgram(p)
+	instBase := 16 + len(p.Name) // magic + version + name length + name + inst count
+
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantSub string
+	}{
+		{"bad magic", func(d []byte) []byte { d[0] = 'X'; return d }, "bad magic"},
+		{"bad version", func(d []byte) []byte { binary.LittleEndian.PutUint32(d[4:], 9); return d }, "unsupported container version 9"},
+		{"bad opcode", func(d []byte) []byte { d[instBase] = 0xEE; return d }, "inst 0: isa: decode: bad op 238"},
+		{"truncated mid-inst", func(d []byte) []byte { return d[:instBase+isa.EncodedSize+5] }, "inst 1: truncated container"},
+		{"truncated header", func(d []byte) []byte { return d[:6] }, "version"},
+		{"trailing bytes", func(d []byte) []byte { return append(d, 0) }, "1 trailing bytes"},
+		{"oversized name", func(d []byte) []byte { binary.LittleEndian.PutUint32(d[8:], 1<<16); return d }, "name length 65536 exceeds limit"},
+		{"oversized inst count", func(d []byte) []byte {
+			binary.LittleEndian.PutUint32(d[12+len(p.Name):], 1<<24)
+			return d
+		}, "instruction count 16777216 exceeds limit"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			data := c.mutate(append([]byte(nil), good...))
+			_, err := DecodeProgram(data)
+			if err == nil {
+				t.Fatal("decode accepted a corrupt container")
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, c.wantSub)
+			}
+		})
+	}
+}

@@ -1,0 +1,45 @@
+package verify_test
+
+import (
+	"testing"
+
+	"repro/internal/fuzzgen"
+	"repro/internal/isa/verify"
+	"repro/internal/workload"
+)
+
+// TestVerifyAcceptsSuite is the core acceptance gate: the verifier must
+// pass every built-in workload with zero Error-severity findings —
+// anything else is a false reject that would block legitimate binaries
+// at the -load gate.
+func TestVerifyAcceptsSuite(t *testing.T) {
+	for _, name := range workload.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			p, err := workload.Program(name)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			res := verify.Program(p, verify.Options{})
+			for _, d := range res.Errors() {
+				t.Errorf("false reject: %s", d)
+			}
+			if t.Failed() {
+				t.Logf("memory fixpoint took %d rounds", res.MemIters)
+			}
+		})
+	}
+}
+
+// TestVerifyAcceptsFuzzgen requires the verifier to accept every
+// constrained-random program the generator can emit (they are all safe
+// by construction; FuzzVerify extends this over the native fuzzer).
+func TestVerifyAcceptsFuzzgen(t *testing.T) {
+	for seed := uint64(1); seed <= 50; seed++ {
+		p := fuzzgen.Generate(seed)
+		res := verify.Program(p, verify.Options{})
+		for _, d := range res.Errors() {
+			t.Errorf("seed %d: false reject: %s", seed, d)
+		}
+	}
+}

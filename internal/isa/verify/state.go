@@ -1,0 +1,150 @@
+package verify
+
+import (
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// cmpTag remembers the most recent flag-setting SUBS so conditional
+// branches can refine the compared register on each out-edge. Only
+// X-form SUBS is tracked; any other flag write or a write to the
+// compared register invalidates the tag.
+type cmpTag struct {
+	valid  bool
+	w      bool
+	eqOnly bool    // tag tracks the SUBS result vs zero; only EQ/NE refine
+	inst   int     // index of the SUBS
+	reg    isa.Reg // left-hand register (Rn), or Rd when eqOnly
+	rhs    AbsVal  // right-hand operand at the time of the compare
+}
+
+// state is the abstract machine state at one program point: one AbsVal
+// per integer register, def-before-use bitmaps for the integer and FP
+// files, and the live compare tag.
+type state struct {
+	regs [isa.NumRegs]AbsVal
+	def  uint32 // bit r: Xr written (or defined by convention) on every path
+	fdef uint32 // bit r: Dr written on every path
+	cmp  cmpTag
+}
+
+// entryState models the emulator reset: every register reads as zero,
+// X29 is the stack top, and only XZR/X29 count as defined.
+func entryState() *state {
+	s := &state{}
+	for i := range s.regs {
+		s.regs[i] = exact(0)
+	}
+	s.regs[isa.X29] = exact(prog.StackTop)
+	s.def = 1<<uint(isa.XZR) | 1<<uint(isa.X29)
+	return s
+}
+
+func (s *state) clone() *state {
+	c := *s
+	return &c
+}
+
+func (s *state) get(r isa.Reg) AbsVal {
+	return s.regs[r]
+}
+
+func (s *state) set(r isa.Reg, v AbsVal) {
+	if r == isa.XZR {
+		return // writes to XZR are discarded; it stays exactly zero
+	}
+	s.regs[r] = v
+	s.def |= 1 << uint(r)
+	if s.cmp.valid && s.cmp.reg == r {
+		s.cmp.valid = false
+	}
+}
+
+func (s *state) defined(r isa.Reg) bool  { return s.def&(1<<uint(r)) != 0 }
+func (s *state) fdefined(r isa.Reg) bool { return s.fdef&(1<<uint(r)) != 0 }
+
+// joinInto merges src into dst (dst ⊔= src), returning whether dst
+// changed. Definedness intersects: a register counts as defined only if
+// it is defined on every incoming path.
+func joinInto(dst, src *state) bool {
+	changed := false
+	for i := range dst.regs {
+		j := dst.regs[i].join(src.regs[i])
+		if !j.eq(dst.regs[i]) {
+			dst.regs[i] = j
+			changed = true
+		}
+	}
+	if nd := dst.def & src.def; nd != dst.def {
+		dst.def = nd
+		changed = true
+	}
+	if nf := dst.fdef & src.fdef; nf != dst.fdef {
+		dst.fdef = nf
+		changed = true
+	}
+	if dst.cmp.valid {
+		if !src.cmp.valid || src.cmp.inst != dst.cmp.inst || src.cmp.reg != dst.cmp.reg ||
+			src.cmp.w != dst.cmp.w || src.cmp.eqOnly != dst.cmp.eqOnly {
+			dst.cmp.valid = false
+			changed = true
+		} else if j := dst.cmp.rhs.join(src.cmp.rhs); !j.eq(dst.cmp.rhs) {
+			dst.cmp.rhs = j
+			changed = true
+		}
+	}
+	return changed
+}
+
+// widen accelerates convergence at frequently-revisited join points by
+// pushing interval bounds out to the nearest program landmark (segment
+// boundaries, the stack window, zero, 2^64-1). Exact sets are left
+// alone: their size is capped by the join, so they converge on their
+// own, and degrading them would destroy jump-table and return-address
+// resolution. Landmarks include segEnd-1 so that an aligned pointer
+// confined to a segment widens to a bound that still excludes the first
+// out-of-segment slot.
+func (s *state) widen(marks []uint64) {
+	for i := range s.regs {
+		a := &s.regs[i]
+		if a.set != nil {
+			continue
+		}
+		a.lo = landmarkDown(marks, a.lo)
+		a.hi = landmarkUp(marks, a.hi)
+	}
+}
+
+// landmarks builds the sorted widening targets for a program.
+func landmarks(p *prog.Program) []uint64 {
+	m := []uint64{0, 1, ^uint64(0), 1 << 32, prog.StackTop - stackWindow, prog.StackTop}
+	m = append(m, prog.TextBase, prog.TextBase+4*uint64(len(p.Code)))
+	for _, seg := range p.Data {
+		end := seg.Base + uint64(len(seg.Bytes))
+		m = append(m, seg.Base, end-1, end)
+	}
+	sortU64(m)
+	out := m[:1]
+	for _, v := range m[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func landmarkDown(marks []uint64, v uint64) uint64 {
+	i, ok := searchU64(marks, v)
+	if ok {
+		return v
+	}
+	return marks[i-1] // marks[0] == 0 ≤ v always
+}
+
+func landmarkUp(marks []uint64, v uint64) uint64 {
+	i, ok := searchU64(marks, v)
+	if ok {
+		return v
+	}
+	return marks[i] // marks ends with 2^64-1 ≥ v always
+}

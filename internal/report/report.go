@@ -87,6 +87,41 @@ func (c Config) names() []string {
 	return workload.Names()
 }
 
+// paperNames returns the names whose results feed suite-level
+// aggregates: promoted fuzzgen members (9xx) are excluded so the
+// headline means and geomeans stay over the paper's 28 points.
+// Aggregate-only figures (Fig. 1, Table 3, Fig. 6, the ablations)
+// sweep this subset directly; row-producing figures keep every member
+// as a row and filter at accumulation time via aggregates. If the
+// configured list holds no paper member at all (an explicit
+// -w 901_... run), the filter backs off and every name aggregates.
+func (c Config) paperNames() []string { return paperSubset(c.names()) }
+
+func paperSubset(names []string) []string {
+	kept := make([]string, 0, len(names))
+	for _, n := range names {
+		if workload.PaperMember(n) {
+			kept = append(kept, n)
+		}
+	}
+	if len(kept) == 0 {
+		return names
+	}
+	return kept
+}
+
+// aggregates returns the membership test row-producing figures apply
+// when folding per-workload rows into the suite aggregate (see
+// paperSubset), plus the size of that aggregate set for mean divisors.
+func aggregates(names []string) (func(string) bool, int) {
+	sub := paperSubset(names)
+	in := make(map[string]bool, len(sub))
+	for _, n := range sub {
+		in[n] = true
+	}
+	return func(n string) bool { return in[n] }, len(sub)
+}
+
 func (c Config) base() *config.Machine {
 	if c.Base != nil {
 		return c.Base
@@ -276,7 +311,7 @@ func valueHistogram(name string, insts uint64) (valueHist, error) {
 // Fig1 runs the whole suite functionally (no timing) and returns the topN
 // most frequently produced GPR values, mirroring Fig. 1's distribution.
 func Fig1(c Config, topN int) ([]ValueCount, error) {
-	names := c.names()
+	names := c.paperNames()
 	hs := make([]valueHist, len(names))
 	errs := make([]error, len(names))
 	sem := make(chan struct{}, c.workers())
@@ -349,13 +384,16 @@ func Fig2(c Config) ([]Fig2Row, float64, float64, error) {
 	if err != nil {
 		return nil, 0, 0, err
 	}
+	agg, nAgg := aggregates(names)
 	rows := make([]Fig2Row, len(names))
-	uops := make([]float64, len(names))
-	ipcs := make([]float64, len(names))
+	uops := make([]float64, 0, nAgg)
+	ipcs := make([]float64, 0, nAgg)
 	for i, st := range sts {
 		rows[i] = Fig2Row{Workload: names[i], UopsPerInst: st.UopsPerInst(), IPC: st.IPC()}
-		uops[i] = st.UopsPerInst()
-		ipcs[i] = st.IPC()
+		if agg(names[i]) {
+			uops = append(uops, st.UopsPerInst())
+			ipcs = append(ipcs, st.IPC())
+		}
 	}
 	return rows, stats.AMean(uops), stats.HMean(ipcs), nil
 }
@@ -393,6 +431,7 @@ func Fig3(c Config) ([]Fig3Row, Fig3Summary, error) {
 	if err != nil {
 		return nil, Fig3Summary{}, err
 	}
+	agg, nAgg := aggregates(names)
 	rows := make([]Fig3Row, len(names))
 	var sum Fig3Summary
 	var speedups [3][]float64
@@ -404,8 +443,10 @@ func Fig3(c Config) ([]Fig3Row, Fig3Summary, error) {
 			row.Speedup[m] = (st.IPC()/base - 1) * 100
 			row.Coverage[m] = 100 * st.VPCoverage()
 			row.Accuracy[m] = 100 * st.VPAccuracy()
-			speedups[m] = append(speedups[m], row.Speedup[m])
-			sum.MeanCoverage[m] += row.Coverage[m] / float64(len(names))
+			if agg(n) {
+				speedups[m] = append(speedups[m], row.Speedup[m])
+				sum.MeanCoverage[m] += row.Coverage[m] / float64(nAgg)
+			}
 		}
 		rows[i] = row
 	}
@@ -443,7 +484,7 @@ func Table3(c Config) ([]Table3Row, error) {
 	}{
 		{"0.5x", -1}, {"1x (Table 2)", 0}, {"2x", 1}, {"4x", 2},
 	}
-	names := c.names()
+	names := c.paperNames()
 	modes := []config.VPMode{config.MVP, config.TVP, config.GVP}
 	rows := make([]Table3Row, len(deltas))
 
@@ -510,6 +551,7 @@ func Fig4(c Config, mode config.VPMode) ([]Fig4Row, Fig4Row, error) {
 	if err != nil {
 		return nil, Fig4Row{}, err
 	}
+	agg, nAgg := aggregates(names)
 	rows := make([]Fig4Row, len(names))
 	var mean Fig4Row
 	mean.Workload = "amean"
@@ -524,7 +566,10 @@ func Fig4(c Config, mode config.VPMode) ([]Fig4Row, Fig4Row, error) {
 			NonMEMove: 100 * st.ElimFraction(st.MoveNotElim),
 		}
 		rows[i] = r
-		n := float64(len(names))
+		if !agg(names[i]) {
+			continue
+		}
+		n := float64(nAgg)
 		mean.ZeroIdiom += r.ZeroIdiom / n
 		mean.OneIdiom += r.OneIdiom / n
 		mean.Move += r.Move / n
@@ -564,6 +609,7 @@ func Fig5(c Config) ([]Fig5Row, [4]float64, error) {
 	if err != nil {
 		return nil, [4]float64{}, err
 	}
+	agg, _ := aggregates(names)
 	rows := make([]Fig5Row, len(names))
 	var pcts [4][]float64
 	for i, n := range names {
@@ -571,7 +617,9 @@ func Fig5(c Config) ([]Fig5Row, [4]float64, error) {
 		row := Fig5Row{Workload: n}
 		for k := 0; k < 4; k++ {
 			row.Speedup[k] = (sts[i*5+1+k].IPC()/base - 1) * 100
-			pcts[k] = append(pcts[k], row.Speedup[k])
+			if agg(n) {
+				pcts[k] = append(pcts[k], row.Speedup[k])
+			}
 		}
 		rows[i] = row
 	}
@@ -596,7 +644,7 @@ type Fig6Row struct {
 // Fig6 reports mean INT PRF and IQ activity for the six configurations of
 // Fig. 6 normalized to the baseline.
 func Fig6(c Config) ([]Fig6Row, error) {
-	names := c.names()
+	names := c.paperNames()
 	type cfgDef struct {
 		label string
 		cfg   *config.Machine
@@ -655,7 +703,7 @@ type SilencingRow struct {
 
 // AblationSilencing sweeps the misprediction silencing window.
 func AblationSilencing(c Config, windows []int) ([]SilencingRow, error) {
-	names := c.names()
+	names := c.paperNames()
 	baseSpecs := make([]runSpec, len(names))
 	for i, n := range names {
 		baseSpecs[i] = runSpec{workload: n, cfg: c.base()}
@@ -696,7 +744,7 @@ func AblationSilencing(c Config, windows []int) ([]SilencingRow, error) {
 // with the adaptive scheme it suggests as future work (§3.4.1), per VP
 // flavor.
 func AblationDynamicSilence(c Config) (fixed, dynamic [3]float64, err error) {
-	names := c.names()
+	names := c.paperNames()
 	baseSpecs := make([]runSpec, len(names))
 	for i, n := range names {
 		baseSpecs[i] = runSpec{workload: n, cfg: c.base()}
@@ -740,7 +788,7 @@ func AblationDynamicSilence(c Config) (fixed, dynamic [3]float64, err error) {
 // for the GVP flavor where the paper quantifies the cost ("an additional
 // 22% PRF reads over baseline", §6.1).
 func AblationValidation(c Config) (speedup [2]float64, prfReads [2]float64, err error) {
-	names := c.names()
+	names := c.paperNames()
 	baseSpecs := make([]runSpec, len(names))
 	for i, n := range names {
 		baseSpecs[i] = runSpec{workload: n, cfg: c.base()}

@@ -369,3 +369,37 @@ func TestWorkersDefault(t *testing.T) {
 		t.Errorf("EffectiveWorkers() = %d, want 3", got)
 	}
 }
+
+// TestPaperAggregateFilter: promoted 9xx members print as rows but stay
+// out of the paper-figure aggregates, and a promoted-only list falls
+// back to aggregating everything rather than averaging zero points.
+func TestPaperAggregateFilter(t *testing.T) {
+	mixed := []string{"600_perlbench_s_1", "901_fuzz_dispatch_s", "654_roms_s"}
+	if got := paperSubset(mixed); len(got) != 2 || got[0] != "600_perlbench_s_1" || got[1] != "654_roms_s" {
+		t.Fatalf("paperSubset(%v) = %v", mixed, got)
+	}
+	only9 := []string{"901_fuzz_dispatch_s"}
+	if got := paperSubset(only9); len(got) != 1 || got[0] != "901_fuzz_dispatch_s" {
+		t.Fatalf("paperSubset must back off on a promoted-only list, got %v", got)
+	}
+
+	// Fig. 2 over the mixed list must report the same means as over the
+	// paper members alone, while still carrying the promoted row.
+	c := Quick()
+	c.Workloads = []string{"600_perlbench_s_1", "654_roms_s"}
+	_, mu, hi, err := Fig2(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Workloads = mixed
+	rows, mu2, hi2, err := Fig2(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[1].Workload != "901_fuzz_dispatch_s" {
+		t.Fatalf("promoted member missing from rows: %+v", rows)
+	}
+	if mu2 != mu || hi2 != hi {
+		t.Errorf("aggregates moved when a promoted member joined the list: uops %.6f vs %.6f, IPC %.6f vs %.6f", mu2, mu, hi2, hi)
+	}
+}

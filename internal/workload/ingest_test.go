@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fuzzgen"
+	"repro/internal/isa/tvpb"
+)
+
+// TestEncodedSuiteVerifies is the `make verify-suite` gate: every
+// built-in workload must round-trip through the TVPB container and be
+// admitted by the static verifier with zero Error-severity findings —
+// otherwise the -load path would reject a binary the suite itself
+// produced.
+func TestEncodedSuiteVerifies(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			p, err := Program(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q, res, err := FromEncoded(tvpb.EncodeProgram(p))
+			if err != nil {
+				for _, d := range res.Errors() {
+					t.Errorf("%s", d)
+				}
+				t.Fatal(err)
+			}
+			if len(q.Code) != len(p.Code) || len(q.Data) != len(p.Data) {
+				t.Fatalf("round trip changed shape: %d/%d insts, %d/%d segments",
+					len(q.Code), len(p.Code), len(q.Data), len(p.Data))
+			}
+		})
+	}
+}
+
+// TestPromotedCorpusBitExact pins the promoted 9xx members to their
+// committed containers: testdata/corpus must match the generator
+// bit-for-bit (the corpus IS the program source the suite embeds, so
+// drift from the generator would silently fork the workload) and every
+// container must be admitted through FromEncoded. Regenerate after an
+// intentional generator change with
+// UPDATE_CORPUS=1 go test ./internal/workload -run PromotedCorpus.
+func TestPromotedCorpusBitExact(t *testing.T) {
+	for _, pm := range promotedSpecs() {
+		pm := pm
+		t.Run(pm.name, func(t *testing.T) {
+			p := fuzzgen.GenerateIters(pm.seed, promotedIters)
+			p.Name = pm.name
+			want := tvpb.EncodeProgram(p)
+			path := filepath.Join("testdata", "corpus", pm.name+".tvpb")
+			//tvplint:ignore nondet UPDATE_CORPUS is an explicit opt-in regeneration knob; a normal run only compares committed bytes
+			if os.Getenv("UPDATE_CORPUS") != "" {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, want, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with UPDATE_CORPUS=1)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("committed container differs from GenerateIters(%d) output (%d vs %d bytes)",
+					pm.seed, len(got), len(want))
+			}
+			if _, _, err := FromEncoded(got); err != nil {
+				t.Fatalf("committed container rejected: %v", err)
+			}
+		})
+	}
+}

@@ -528,4 +528,8 @@ func init() {
 			})
 		})
 	}
+
+	// --- 9xx: promoted fuzzgen families (see promoted.go). Registered
+	// last so the paper's 28-point figure order stays a prefix.
+	registerPromoted()
 }

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/config"
@@ -10,12 +11,30 @@ import (
 
 func TestSuiteShape(t *testing.T) {
 	names := Names()
-	if len(names) != 28 {
-		t.Fatalf("suite has %d workload points, want the paper's 28", len(names))
+	paper, promoted := 0, 0
+	for _, n := range names {
+		if strings.HasPrefix(n, "9") {
+			promoted++
+		} else {
+			paper++
+		}
+	}
+	if paper != 28 {
+		t.Fatalf("suite has %d paper workload points, want the paper's 28", paper)
+	}
+	if want := len(promotedSpecs()); promoted != want {
+		t.Fatalf("suite has %d promoted 9xx members, want %d", promoted, want)
+	}
+	// Figure order: the paper's 28 points come first, promoted members last.
+	for i, n := range names {
+		if strings.HasPrefix(n, "9") != (i >= paper) {
+			t.Fatalf("promoted member %s out of order at index %d", n, i)
+		}
 	}
 	for _, expect := range []string{
 		"600_perlbench_s_1", "602_gcc_s_2", "603_bwaves_s_1", "605_mcf_s",
 		"623_xalancbmk_s", "648_exchange2_s", "654_roms_s", "657_xz_s_2",
+		"901_fuzz_dispatch_s", "902_fuzz_fp_s", "903_fuzz_calls_s",
 	} {
 		if _, err := Get(expect); err != nil {
 			t.Errorf("missing %s: %v", expect, err)

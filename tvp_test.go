@@ -60,11 +60,14 @@ func TestRunAllVPModes(t *testing.T) {
 
 func TestBenchmarksList(t *testing.T) {
 	bs := Benchmarks()
-	if len(bs) != 28 {
+	if len(bs) != 31 { // 28 paper points + 3 promoted fuzzgen members
 		t.Fatalf("suite size %d", len(bs))
 	}
 	if bs[0] != "600_perlbench_s_1" {
 		t.Errorf("first = %s; the list must follow the paper's figure order", bs[0])
+	}
+	if bs[28] != "901_fuzz_dispatch_s" {
+		t.Errorf("bs[28] = %s; promoted members must follow the paper prefix", bs[28])
 	}
 }
 
