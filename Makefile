@@ -26,16 +26,23 @@ FUZZ_TIME ?= 10s
 # hot path, so this number must not grow.
 BENCH_GUARD_ALLOCS ?= 285
 
-# Throughput floor for BenchmarkSimThroughput, in simulated MIPS. The
-# recorded PR-6 baseline is 4.09 MIPS (BENCH_PR6.json, interleaved
-# protocol); 10% tolerance under that is 3.68, which is the floor to use
-# on a quiet dedicated machine (BENCH_GUARD_MIPS=3.68). The shipped
-# default sits lower because shared 1-vCPU containers swing ±35%
-# minute-to-minute (see BENCH_PR6.json "noise" note) — it still trips on
-# any structural regression (losing cycle skipping or the SoA layouts
-# lands the low-IPC sweep and this benchmark well under 2×-class), while
-# not flapping on a slow host minute.
-BENCH_GUARD_MIPS ?= 2.60
+# Per-workload throughput floors, in simulated MIPS. The two benchmarks
+# bound opposite regimes: BenchmarkSimThroughput (648_exchange2_s,
+# cache-resident, issue-bound) is dominated by the wakeup scoreboard,
+# while BenchmarkSimThroughputLowIPC (605_mcf_s, DRAM-bound) is dominated
+# by cycle skipping and commit-side work — a regression confined to
+# either mechanism trips exactly one floor, which is why the guard checks
+# both instead of one blended number. Recorded PR-9 baselines
+# (BENCH_PR9.json, interleaved protocol): 4.8 MIPS high-IPC, 2.7 MIPS
+# low-IPC; 10% tolerance under those (4.3 / 2.4) is the floor to use on a
+# quiet dedicated machine. The shipped defaults sit lower because shared
+# 1-vCPU containers swing ±35% minute-to-minute (see the BENCH_PR6.json /
+# BENCH_PR9.json "noise" notes) — they still trip on any structural
+# regression (losing the scoreboard, cycle skipping, or the pointer-free
+# layouts lands the affected benchmark well under its floor), while not
+# flapping on a slow host minute.
+BENCH_GUARD_MIPS ?= 3.10
+BENCH_GUARD_MIPS_LOWIPC ?= 1.70
 
 .PHONY: check vet lint build test race bench bench-guard fuzz-smoke verify-suite report
 
@@ -66,23 +73,28 @@ test:
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
-# Guard the simulator hot path in both directions: telemetry disabled
-# must cost nothing (allocs/op may not exceed the recorded ceiling, see
-# BENCH_PR1.json / BENCH_PR2.json), and throughput may not fall under the
-# MIPS floor (see BENCH_PR6.json and the BENCH_GUARD_MIPS note above).
+# Guard the simulator hot path in both directions and both IPC regimes:
+# telemetry disabled must cost nothing (allocs/op on the high-IPC run may
+# not exceed the recorded ceiling, see BENCH_PR1.json / BENCH_PR2.json),
+# and per-workload throughput may not fall under either MIPS floor (see
+# BENCH_PR9.json and the BENCH_GUARD_MIPS notes above).
 bench-guard:
-	@out=$$($(GO) test -bench='^BenchmarkSimThroughput$$' -benchmem -benchtime 30x -run='^$$' . | tee /dev/stderr); \
+	@out=$$($(GO) test -bench='^BenchmarkSimThroughput(LowIPC)?$$' -benchmem -benchtime 30x -run='^$$' . | tee /dev/stderr); \
 	allocs=$$(printf '%s\n' "$$out" | awk '$$1 ~ /^BenchmarkSimThroughput(-[0-9]+)?$$/ { for (i=1; i<NF; i++) if ($$(i+1) == "allocs/op") print $$i }'); \
 	mips=$$(printf '%s\n' "$$out" | awk '$$1 ~ /^BenchmarkSimThroughput(-[0-9]+)?$$/ { for (i=1; i<NF; i++) if ($$(i+1) == "MIPS") print $$i }'); \
+	lowmips=$$(printf '%s\n' "$$out" | awk '$$1 ~ /^BenchmarkSimThroughputLowIPC(-[0-9]+)?$$/ { for (i=1; i<NF; i++) if ($$(i+1) == "MIPS") print $$i }'); \
 	if [ -z "$$allocs" ]; then echo "bench-guard: could not parse allocs/op" >&2; exit 1; fi; \
-	if [ -z "$$mips" ]; then echo "bench-guard: could not parse MIPS" >&2; exit 1; fi; \
+	if [ -z "$$mips" ] || [ -z "$$lowmips" ]; then echo "bench-guard: could not parse MIPS" >&2; exit 1; fi; \
 	if [ "$$allocs" -gt "$(BENCH_GUARD_ALLOCS)" ]; then \
 		echo "bench-guard: FAIL — $$allocs allocs/op exceeds baseline $(BENCH_GUARD_ALLOCS)" >&2; exit 1; \
 	fi; \
 	if awk -v m="$$mips" -v f="$(BENCH_GUARD_MIPS)" 'BEGIN { exit !(m+0 < f+0) }'; then \
-		echo "bench-guard: FAIL — $$mips MIPS under floor $(BENCH_GUARD_MIPS) (override BENCH_GUARD_MIPS on slow/shared hosts)" >&2; exit 1; \
+		echo "bench-guard: FAIL — high-IPC $$mips MIPS under floor $(BENCH_GUARD_MIPS) (override BENCH_GUARD_MIPS on slow/shared hosts)" >&2; exit 1; \
 	fi; \
-	echo "bench-guard: OK — $$allocs allocs/op (ceiling $(BENCH_GUARD_ALLOCS)), $$mips MIPS (floor $(BENCH_GUARD_MIPS))"
+	if awk -v m="$$lowmips" -v f="$(BENCH_GUARD_MIPS_LOWIPC)" 'BEGIN { exit !(m+0 < f+0) }'; then \
+		echo "bench-guard: FAIL — low-IPC $$lowmips MIPS under floor $(BENCH_GUARD_MIPS_LOWIPC) (override BENCH_GUARD_MIPS_LOWIPC on slow/shared hosts)" >&2; exit 1; \
+	fi; \
+	echo "bench-guard: OK — $$allocs allocs/op (ceiling $(BENCH_GUARD_ALLOCS)), high-IPC $$mips MIPS (floor $(BENCH_GUARD_MIPS)), low-IPC $$lowmips MIPS (floor $(BENCH_GUARD_MIPS_LOWIPC))"
 
 # Differential fuzzing smoke: go test accepts one -fuzz target per
 # invocation, so each native target gets its own short exploration run.

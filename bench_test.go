@@ -239,6 +239,25 @@ func BenchmarkSimThroughput(b *testing.B) {
 	b.ReportMetric(float64(insts)/b.Elapsed().Seconds()/1e6, "MIPS")
 }
 
+// BenchmarkSimThroughputLowIPC is the low-IPC counterpart on the
+// DRAM-bound pointer chaser: long miss chains keep the window drained,
+// so this point is dominated by cycle skipping and commit-side work
+// where BenchmarkSimThroughput (cache-resident, issue-bound) is
+// dominated by the wakeup scoreboard. bench-guard floors both, so a
+// regression confined to either regime still trips the gate.
+func BenchmarkSimThroughputLowIPC(b *testing.B) {
+	b.ReportAllocs()
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		res, err := Run(Options{Workload: "605_mcf_s", Warmup: 0, MaxInsts: 100_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += res.TotalInsts
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds()/1e6, "MIPS")
+}
+
 // BenchmarkSimulatorThroughput is the historical name of the throughput
 // benchmark, kept so BENCH_*.json series remain comparable.
 func BenchmarkSimulatorThroughput(b *testing.B) {

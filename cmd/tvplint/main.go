@@ -4,7 +4,9 @@
 // correctness story rests on:
 //
 //	fingerprintsafe  config.Machine stays %#v-fingerprintable (simcache keys)
-//	hotpathalloc     //tvp:hotpath functions stay allocation-free
+//	hotpathalloc     //tvp:hotpath functions stay allocation-free;
+//	                 //tvp:hotstruct types carry no pointer fields (the hot
+//	                 arenas must stay invisible to the garbage collector)
 //	detmap           no randomized map iteration feeds reports/records/traces
 //	statscomplete    stats.Sim counters stay uint64 and serialize whole
 //	nondet           no wall clock / math/rand / env reads in simulator core

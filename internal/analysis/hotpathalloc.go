@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -19,6 +20,22 @@ import (
 // blows the bench-guard ceiling.
 const HotpathMarker = "//tvp:hotpath"
 
+// HotstructMarker is the companion annotation for hot arena entry types.
+// It goes in the type's doc comment:
+//
+//	// uop is one in-flight µop, recycled in place in the ROB ring.
+//	//
+//	//tvp:hotstruct
+//	type uop struct { ... }
+//
+// Annotated structs live in large preallocated arrays that are rewritten
+// every cycle; a pointer-bearing field (pointer, slice, map, string,
+// chan, func, interface — at any nesting depth) makes the garbage
+// collector scan the whole arena and puts a write barrier on every
+// rewrite, so the check forbids them outright. Store int32 indices into
+// side tables instead.
+const HotstructMarker = "//tvp:hotstruct"
+
 // NewHotpathAlloc builds the hotpathalloc analyzer: functions annotated
 // //tvp:hotpath may not contain heap-allocating or boxing constructs —
 // fmt calls (which box every argument), escaping composite literals
@@ -27,20 +44,29 @@ const HotpathMarker = "//tvp:hotpath"
 // conversions of concrete values to interface types. Arguments of
 // panic(...) calls are exempt (cold assertion paths), as are in-place
 // compaction appends (append(x[:i], x[j:]...)) and closures bound to
-// local variables, none of which allocate.
+// local variables, none of which allocate. Type declarations annotated
+// //tvp:hotstruct may not contain pointer-bearing fields at any nesting
+// depth (see HotstructMarker); both checks report under the same
+// analyzer name, so one //tvplint:ignore hotpathalloc escape hatch
+// covers either.
 func NewHotpathAlloc() *Analyzer {
 	a := &Analyzer{
 		Name: "hotpathalloc",
-		Doc:  "forbid heap allocation and interface boxing in //tvp:hotpath-annotated functions",
+		Doc:  "forbid heap allocation and interface boxing in //tvp:hotpath functions and pointer fields in //tvp:hotstruct types",
 	}
 	a.Run = func(pass *Pass) error {
 		for _, f := range pass.Pkg.Files {
 			for _, d := range f.Decls {
-				fd, ok := d.(*ast.FuncDecl)
-				if !ok || fd.Body == nil || !isHotpath(fd) {
-					continue
+				switch d := d.(type) {
+				case *ast.FuncDecl:
+					if d.Body != nil && hasMarker(d.Doc, HotpathMarker) {
+						checkHotpathFunc(pass, d)
+					}
+				case *ast.GenDecl:
+					if d.Tok == token.TYPE {
+						checkHotstructDecl(pass, d)
+					}
 				}
-				checkHotpathFunc(pass, fd)
 			}
 		}
 		return nil
@@ -48,16 +74,111 @@ func NewHotpathAlloc() *Analyzer {
 	return a
 }
 
-func isHotpath(fd *ast.FuncDecl) bool {
-	if fd.Doc == nil {
+func hasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
 		return false
 	}
-	for _, c := range fd.Doc.List {
-		if text := strings.TrimSpace(c.Text); text == HotpathMarker || strings.HasPrefix(text, HotpathMarker+" ") {
+	for _, c := range doc.List {
+		if text := strings.TrimSpace(c.Text); text == marker || strings.HasPrefix(text, marker+" ") {
 			return true
 		}
 	}
 	return false
+}
+
+// checkHotstructDecl enforces the hotstruct invariant on every marked
+// type in the declaration group (the marker may sit on the group's doc
+// comment or on an individual TypeSpec). Diagnostics anchor at the
+// offending field, so a suppression can be scoped to one field while the
+// rest of the struct stays guarded.
+func checkHotstructDecl(pass *Pass, gd *ast.GenDecl) {
+	groupMarked := hasMarker(gd.Doc, HotstructMarker)
+	for _, spec := range gd.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok || (!groupMarked && !hasMarker(ts.Doc, HotstructMarker)) {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			obj := pass.Pkg.Info.Defs[ts.Name]
+			if obj != nil {
+				if why := pointerBearing(obj.Type(), nil); why != "" {
+					pass.Reportf(ts.Pos(), "%s is //tvp:hotstruct but is %s; hot arena entries must be GC-invisible", ts.Name.Name, why)
+				}
+			}
+			continue
+		}
+		for _, fld := range st.Fields.List {
+			for _, name := range fld.Names {
+				obj, ok := pass.Pkg.Info.Defs[name].(*types.Var)
+				if !ok {
+					continue
+				}
+				if why := pointerBearing(obj.Type(), nil); why != "" {
+					pass.Reportf(name.Pos(), "%s is //tvp:hotstruct: field %s is %s; the GC would scan the whole arena — store an index into a side table instead", ts.Name.Name, name.Name, why)
+				}
+			}
+			// Embedded field: no Names; the type expression carries the def.
+			if len(fld.Names) == 0 {
+				if t := pass.Pkg.Info.Types[fld.Type].Type; t != nil {
+					if why := pointerBearing(t, nil); why != "" {
+						pass.Reportf(fld.Pos(), "%s is //tvp:hotstruct: embedded %s is %s; the GC would scan the whole arena", ts.Name.Name, types.ExprString(fld.Type), why)
+					}
+				}
+			}
+		}
+	}
+}
+
+// pointerBearing reports why t would make the GC scan a value of t ("" if
+// it would not), recursing through named types, structs and arrays. seen
+// guards against recursive type definitions (which necessarily go
+// through a pointer and are reported at that pointer).
+func pointerBearing(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		switch u.Kind() {
+		case types.String, types.UntypedString:
+			return "a string (pointer + length header)"
+		case types.UnsafePointer:
+			return "an unsafe.Pointer"
+		}
+		return ""
+	case *types.Pointer:
+		return "a pointer"
+	case *types.Slice:
+		return "a slice (pointer-bearing header)"
+	case *types.Map:
+		return "a map (pointer under the hood)"
+	case *types.Chan:
+		return "a channel (pointer under the hood)"
+	case *types.Signature:
+		return "a func value (pointer under the hood)"
+	case *types.Interface:
+		return "an interface (two-word pointer pair)"
+	case *types.Struct:
+		if seen == nil {
+			seen = map[types.Type]bool{}
+		}
+		seen[t] = true
+		for i := 0; i < u.NumFields(); i++ {
+			if why := pointerBearing(u.Field(i).Type(), seen); why != "" {
+				return "a struct whose field " + u.Field(i).Name() + " is " + why
+			}
+		}
+		return ""
+	case *types.Array:
+		if why := pointerBearing(u.Elem(), seen); why != "" {
+			return "an array of " + why
+		}
+		return ""
+	}
+	// Anything unrecognized (type parameters, etc.) is conservatively
+	// treated as pointer-bearing: the arena must prove cleanliness.
+	return "of unanalyzable kind " + t.String()
 }
 
 func checkHotpathFunc(pass *Pass, fd *ast.FuncDecl) {

@@ -75,3 +75,53 @@ func (s *S) unannotated(v int) {
 	s.vals = append(s.vals, T{x: v})
 	fmt.Println(make([]int, v))
 }
+
+// entry is a clean hot arena entry: scalars, nested pointer-free
+// structs and arrays only. No findings.
+//
+//tvp:hotstruct
+type entry struct {
+	seq   uint64
+	idx   int32
+	flags [4]uint8
+	inner struct{ a, b int16 }
+}
+
+// dirty exercises every rejected field kind, including pointer-bearing
+// types reached only through nesting.
+//
+//tvp:hotstruct
+type dirty struct {
+	p      *T                // want "field p is a pointer"
+	buf    []int             // want "field buf is a slice"
+	m      map[int]int       // want "field m is a map"
+	s      string            // want "field s is a string"
+	ch     chan int          // want "field ch is a channel"
+	fn     func()            // want "field fn is a func value"
+	any    interface{}       // want "field any is an interface"
+	nested struct{ q []int } // want `field nested is a struct whose field q is a slice`
+	arr    [4]*T             // want "field arr is an array of a pointer"
+	ok     uint64            // scalars stay silent
+}
+
+// hotstructSuppressed shows the escape hatch covers the struct check
+// too: the finding anchors at the field, so the ignore sits beside it.
+//
+//tvp:hotstruct
+type hotstructSuppressed struct {
+	//tvplint:ignore hotpathalloc side table is tiny and rewritten never; scan cost is negligible
+	dbg *T
+	seq uint64
+}
+
+// alias is marked but not a struct: the named type's underlying kind is
+// checked directly.
+//
+//tvp:hotstruct
+type alias []int // want "alias is //tvp:hotstruct but is a slice"
+
+// unmarked may carry pointers freely: no findings.
+type unmarked struct {
+	p *T
+	s string
+}

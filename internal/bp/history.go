@@ -49,17 +49,20 @@ func (h *GlobalHistory) Bit(i int) uint64 {
 // FoldedHistory incrementally maintains the XOR-fold of the newest
 // histLen history bits down to width bits, the classic TAGE construction:
 // pushing a bit XORs it in at the bottom and removes the bit leaving the
-// window at its folded position.
+// window at its folded position. The geometry fields are narrow
+// (histLen <= HistoryBits, width and outPos < 64) so the struct packs
+// into 16 bytes — HistorySet.Push walks every view per branch, and the
+// folds slice staying dense is what keeps that loop in cache.
 type FoldedHistory struct {
 	Folded  uint64
-	histLen int
-	width   int
-	outPos  int // position within the fold where the outgoing bit lands
+	histLen uint16
+	width   uint8
+	outPos  uint8 // position within the fold where the outgoing bit lands
 }
 
 // NewFolded returns a fold of histLen bits into width bits.
 func NewFolded(histLen, width int) FoldedHistory {
-	return FoldedHistory{histLen: histLen, width: width, outPos: histLen % width}
+	return FoldedHistory{histLen: uint16(histLen), width: uint8(width), outPos: uint8(histLen % width)}
 }
 
 // Update folds in the new direction bit; old must be the direction bit
@@ -73,11 +76,20 @@ func (f *FoldedHistory) Update(newBit, oldBit uint64) {
 }
 
 // HistorySet bundles a global history with per-table folded views for
-// indices and tags; both TAGE and VTAGE own one.
+// indices and tags; both TAGE and VTAGE own one. Each view carries its
+// own history length (FoldedHistory.histLen), so Push reads one dense
+// array.
 type HistorySet struct {
 	Global GlobalHistory
 	folds  []FoldedHistory
-	lens   []int
+
+	// Outgoing-bit sharing: TAGE-style fold sets carry several views per
+	// history length (index fold, tag folds), and the outgoing bit depends
+	// only on the length. Push reads each unique length once into scratch
+	// and fans it out through lenIdx.
+	uniqLens []uint16 // deduplicated histLens, construction order
+	lenIdx   []uint8  // per fold: index into uniqLens/scratch
+	scratch  []uint64
 }
 
 // NewHistorySet creates folded views; folds[i] folds lens[i] bits into
@@ -86,27 +98,49 @@ func NewHistorySet(lens, widths []int) *HistorySet {
 	if len(lens) != len(widths) {
 		panic("bp: lens/widths mismatch")
 	}
-	hs := &HistorySet{lens: append([]int(nil), lens...)}
-	hs.folds = make([]FoldedHistory, len(lens))
+	hs := &HistorySet{
+		folds:  make([]FoldedHistory, len(lens)),
+		lenIdx: make([]uint8, len(lens)),
+	}
 	for i := range lens {
 		hs.folds[i] = NewFolded(lens[i], widths[i])
+		k := -1
+		for j, u := range hs.uniqLens {
+			if int(u) == lens[i] {
+				k = j
+				break
+			}
+		}
+		if k < 0 {
+			k = len(hs.uniqLens)
+			hs.uniqLens = append(hs.uniqLens, uint16(lens[i]))
+		}
+		if k > 255 {
+			panic("bp: too many distinct history lengths")
+		}
+		hs.lenIdx[i] = uint8(k)
 	}
+	hs.scratch = make([]uint64, len(hs.uniqLens))
 	return hs
 }
 
 // Fold returns the current folded value of view i.
 func (hs *HistorySet) Fold(i int) uint64 { return hs.folds[i].Folded }
 
-// Push inserts a new direction bit, updating every folded view.
+// Push inserts a new direction bit, updating every folded view. The
+// outgoing bit is read once per unique history length, not once per view.
 func (hs *HistorySet) Push(taken bool) {
 	var nb uint64
 	if taken {
 		nb = 1
 	}
-	folds, lens := hs.folds, hs.lens
+	scratch := hs.scratch
+	for i, l := range hs.uniqLens {
+		scratch[i] = hs.Global.Bit(int(l) - 1)
+	}
+	folds := hs.folds
 	for i := range folds {
-		old := hs.Global.Bit(lens[i] - 1)
-		folds[i].Update(nb, old)
+		folds[i].Update(nb, scratch[hs.lenIdx[i]])
 	}
 	hs.Global.Push(taken)
 }

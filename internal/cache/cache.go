@@ -49,7 +49,9 @@ type Cache struct {
 	Name string
 
 	cfg      config.CacheConfig
-	sets     [][]line
+	lines    []line   // small caches: nsets*assoc, set-major, eager
+	chunks   [][]line // large caches: chunkSets-set groups, allocated on first install
+	assoc    int
 	lineBits uint
 	setMask  uint64
 	next     Level
@@ -69,13 +71,21 @@ type Cache struct {
 	MSHRConflict uint64 // accesses delayed by MSHR exhaustion
 }
 
+// line is one cache line. The valid/dirty/prefetched flags live in the
+// top bits of the tag word: line addresses are physical addresses shifted
+// right by lineBits, so bits 61+ are free, and the 16-byte struct halves
+// the zeroing cost of the per-run constructor (an L3 is ~32k lines).
 type line struct {
-	valid      bool
-	dirty      bool
-	prefetched bool
-	tag        uint64
-	lru        uint64
+	tag uint64 // lnTagMask bits: line address; top bits: ln* flags
+	lru uint64
 }
+
+const (
+	lnValid      = uint64(1) << 63
+	lnDirty      = uint64(1) << 62
+	lnPrefetched = uint64(1) << 61
+	lnTagMask    = lnPrefetched - 1
+)
 
 type mshr struct {
 	valid bool
@@ -101,28 +111,62 @@ func New(name string, cfg config.CacheConfig, next Level, pf Prefetcher) *Cache 
 	if nsets&(nsets-1) != 0 {
 		panic("cache: set count must be a power of two")
 	}
-	// One flat backing array sliced per set: cores are built per run, so
-	// constructor allocation count is on the experiment hot path.
-	backing := make([]line, nsets*cfg.Assoc)
-	c.sets = make([][]line, nsets)
-	for i := range c.sets {
-		c.sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
+	c.assoc = cfg.Assoc
+	// Cores are built per run, so constructor allocation and zeroing are
+	// on the experiment hot path. Small caches get one flat eager array;
+	// large ones (an L3 is ~2MB of line state, of which a short run
+	// touches a sliver) defer to chunked on-demand allocation — a missing
+	// chunk reads as all-invalid lines, so behavior is identical.
+	if nsets >= 2*chunkSets {
+		c.chunks = make([][]line, nsets/chunkSets)
+	} else {
+		c.lines = make([]line, nsets*cfg.Assoc)
 	}
 	return c
+}
+
+// chunkSets is the lazy-allocation granule for large caches: 256
+// consecutive sets (16KB of contiguous address space at 64B lines), a
+// compromise between zeroing cost and allocation count per run.
+const chunkSets = 256
+
+// setOf returns the set's way slice, or nil when its chunk has not been
+// allocated (equivalent to an all-invalid set on the read path).
+//tvp:hotpath
+func (c *Cache) setOf(si int) []line {
+	base := si * c.assoc
+	if c.chunks == nil {
+		return c.lines[base : base+c.assoc : base+c.assoc]
+	}
+	ch := c.chunks[si>>8]
+	if ch == nil {
+		return nil
+	}
+	base &= chunkSets*c.assoc - 1
+	return ch[base : base+c.assoc : base+c.assoc]
+}
+
+// setAlloc is setOf for the install path: it allocates the backing chunk
+// on first touch.
+func (c *Cache) setAlloc(si int) []line {
+	if c.chunks != nil && c.chunks[si>>8] == nil {
+		c.chunks[si>>8] = make([]line, chunkSets*c.assoc)
+	}
+	return c.setOf(si)
 }
 
 func (c *Cache) lineAddr(addr uint64) uint64 { return addr >> c.lineBits }
 
 //tvp:hotpath
-func (c *Cache) lookup(la uint64) (*line, []line) {
-	set := c.sets[la&c.setMask]
-	tag := la // store the full line address as the tag; simple and exact
+func (c *Cache) lookup(la uint64) *line {
+	set := c.setOf(int(la & c.setMask))
+	want := la | lnValid // store the full line address as the tag; simple and exact
 	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			return &set[i], set
+		if set[i].tag&(lnValid|lnTagMask) == want {
+			return &set[i]
 		}
 	}
-	return nil, set
+	return nil
 }
 
 // Access implements Level for demand and prefetch requests arriving at
@@ -137,7 +181,7 @@ func (c *Cache) Access(addr uint64, cycle uint64, write, prefetch bool) uint64 {
 	}
 
 	hitLat := uint64(c.cfg.LoadToUse)
-	ln, set := c.lookup(la)
+	ln := c.lookup(la)
 	var ready uint64
 	hit := ln != nil
 
@@ -151,13 +195,13 @@ func (c *Cache) Access(addr uint64, cycle uint64, write, prefetch bool) uint64 {
 				break
 			}
 		}
-		if ln.prefetched && !prefetch {
+		if ln.tag&lnPrefetched != 0 && !prefetch {
 			c.PFUseful++
-			ln.prefetched = false
+			ln.tag &^= lnPrefetched
 		}
 		ln.lru = c.clock
 		if write {
-			ln.dirty = true
+			ln.tag |= lnDirty
 		}
 	} else {
 		if !prefetch {
@@ -166,7 +210,7 @@ func (c *Cache) Access(addr uint64, cycle uint64, write, prefetch bool) uint64 {
 				c.MissHook(addr, write)
 			}
 		}
-		ready = c.fill(la, addr, cycle+hitLat, write, prefetch, set)
+		ready = c.fill(la, addr, cycle+hitLat, write, prefetch)
 	}
 
 	if c.pf != nil && !prefetch {
@@ -180,7 +224,7 @@ func (c *Cache) Access(addr uint64, cycle uint64, write, prefetch bool) uint64 {
 // Prefetch issues a prefetch for addr into this cache.
 func (c *Cache) Prefetch(addr uint64, cycle uint64) {
 	la := c.lineAddr(addr)
-	if ln, _ := c.lookup(la); ln != nil {
+	if c.lookup(la) != nil {
 		return // already present
 	}
 	// Already in flight?
@@ -190,14 +234,13 @@ func (c *Cache) Prefetch(addr uint64, cycle uint64) {
 		}
 	}
 	c.PFIssued++
-	_, set := c.lookup(la)
-	c.fillPrefetch(la, addr, cycle+uint64(c.cfg.LoadToUse), set)
+	c.fillPrefetch(la, addr, cycle+uint64(c.cfg.LoadToUse))
 }
 
 // fill handles a demand miss: MSHR merge/allocate, request from next
 // level, victim writeback, line install.
 //tvp:hotpath
-func (c *Cache) fill(la, addr, cycle uint64, write, prefetch bool, set []line) uint64 {
+func (c *Cache) fill(la, addr, cycle uint64, write, prefetch bool) uint64 {
 	// MSHR merge: a fill for this line is already in flight.
 	for i := range c.mshrs {
 		if c.mshrs[i].valid && c.mshrs[i].tag == la {
@@ -206,8 +249,8 @@ func (c *Cache) fill(la, addr, cycle uint64, write, prefetch bool, set []line) u
 				r = cycle
 			}
 			if write {
-				if ln, _ := c.lookup(la); ln != nil {
-					ln.dirty = true
+				if ln := c.lookup(la); ln != nil {
+					ln.tag |= lnDirty
 				}
 			}
 			return r
@@ -244,11 +287,11 @@ func (c *Cache) fill(la, addr, cycle uint64, write, prefetch bool, set []line) u
 	ready := c.next.Access(addr, start, false, prefetch)
 	c.mshrs[slot] = mshr{valid: true, tag: la, ready: ready}
 
-	c.install(la, set, write, prefetch, cycle)
+	c.install(la, write, prefetch, cycle)
 	return ready
 }
 
-func (c *Cache) fillPrefetch(la, addr, cycle uint64, set []line) {
+func (c *Cache) fillPrefetch(la, addr, cycle uint64) {
 	slot := -1
 	for i := range c.mshrs {
 		if !c.mshrs[i].valid || c.mshrs[i].ready <= cycle {
@@ -262,15 +305,16 @@ func (c *Cache) fillPrefetch(la, addr, cycle uint64, set []line) {
 	}
 	ready := c.next.Access(addr, cycle, false, true)
 	c.mshrs[slot] = mshr{valid: true, tag: la, ready: ready}
-	ln := c.install(la, set, false, true, cycle)
-	ln.prefetched = true
+	ln := c.install(la, false, true, cycle)
+	ln.tag |= lnPrefetched
 }
 
 // install victimizes the LRU way and installs the new line.
-func (c *Cache) install(la uint64, set []line, write, prefetch bool, cycle uint64) *line {
+func (c *Cache) install(la uint64, write, prefetch bool, cycle uint64) *line {
+	set := c.setAlloc(int(la & c.setMask))
 	victim := 0
 	for i := range set {
-		if !set[i].valid {
+		if set[i].tag&lnValid == 0 {
 			victim = i
 			break
 		}
@@ -278,16 +322,20 @@ func (c *Cache) install(la uint64, set []line, write, prefetch bool, cycle uint6
 			victim = i
 		}
 	}
-	if set[victim].valid && set[victim].dirty {
+	if set[victim].tag&(lnValid|lnDirty) == lnValid|lnDirty {
 		c.Writebacks++
 		// Writebacks consume next-level bandwidth but nothing waits on
 		// them; charge the access without using the returned latency.
-		c.next.Access(set[victim].tag<<c.lineBits, cycle, true, false)
+		c.next.Access(set[victim].tag&lnTagMask<<c.lineBits, cycle, true, false)
 	}
-	set[victim] = line{valid: true, dirty: write, tag: la, lru: c.clock}
+	t := la | lnValid
+	if write {
+		t |= lnDirty
+	}
 	if prefetch {
-		set[victim].prefetched = true
+		t |= lnPrefetched
 	}
+	set[victim] = line{tag: t, lru: c.clock}
 	return &set[victim]
 }
 

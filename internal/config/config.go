@@ -214,6 +214,15 @@ type Machine struct {
 	// TestCycleSkipEquivalence) — so this switch exists only for
 	// equivalence testing and as a diagnostic escape hatch.
 	DisableCycleSkip bool
+
+	// DisableWakeupScoreboard falls back to the polling issue loop: every
+	// IQ entry re-evaluates its source readiness each cycle instead of
+	// producers pushing readiness into registered waiters. The scoreboard
+	// is exact — issue order, stats and CPI stacks are bit-identical either
+	// way (asserted by TestIssueScoreboardEquivalence and the
+	// FuzzMetamorphic scoreboard mutation) — so this switch exists only for
+	// equivalence testing and as a diagnostic escape hatch.
+	DisableWakeupScoreboard bool
 }
 
 // Class bit helpers for FuncUnit masks. These mirror isa.Class values but

@@ -1,0 +1,54 @@
+package emu
+
+import "repro/internal/prog"
+
+// Trace is a pre-recorded span of the functional dynamic instruction
+// stream: the correct-path records an emulator produced from some
+// starting position, plus the program they came from. The functional
+// stream is configuration-invariant — it depends only on the program and
+// the starting architectural state — so one recording can feed any number
+// of timing configurations (report.runAll batches a sweep's points per
+// workload on exactly this seam). Records are immutable after recording;
+// every consumer replays them through its own NewTraceStream cursor.
+type Trace struct {
+	// Prog is the program the trace was recorded from; trace-fed cores
+	// take their static text (cracking, PCs) from it.
+	Prog *prog.Program
+
+	start  uint64 // sequence number of recs[0] (emulator position at recording)
+	recs   []DynInst
+	halted bool // the recording reached HALT (recs ends with the HALT record)
+}
+
+// RecordTrace runs the emulator forward up to n instructions (or to HALT)
+// and returns the recording. The emulator is consumed: it ends positioned
+// after the last recorded instruction. Sequence numbering continues from
+// the emulator's position, so a trace over an emulator restored from a
+// warmup checkpoint composes with Rewind/At exactly like a live stream.
+func RecordTrace(e *Emulator, n uint64) *Trace {
+	t := &Trace{Prog: e.Prog, start: e.Executed()}
+	recs := make([]DynInst, n)
+	var m uint64
+	for m < n {
+		if !e.Step(&recs[m]) {
+			break
+		}
+		m++
+	}
+	// Halted covers both exits: Step returned false, or the n-th record
+	// was HALT itself (Step reports the halt on the following call).
+	t.halted = e.Halted()
+	t.recs = recs[:m]
+	return t
+}
+
+// Start returns the sequence number of the first recorded instruction.
+func (t *Trace) Start() uint64 { return t.start }
+
+// Len returns the number of recorded instructions.
+func (t *Trace) Len() int { return len(t.recs) }
+
+// Halted reports whether the recording reached HALT (its final record is
+// the HALT instruction). A non-halted trace panics in Stream.Peek if a
+// consumer runs off its end.
+func (t *Trace) Halted() bool { return t.halted }

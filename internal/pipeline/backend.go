@@ -1,6 +1,8 @@
 package pipeline
 
 import (
+	"math/bits"
+
 	"repro/internal/emu"
 	"repro/internal/isa"
 	"repro/internal/rename"
@@ -25,7 +27,7 @@ func (c *Core) dispatch() {
 			c.dispCnt--
 			continue
 		}
-		if len(c.iq) >= c.cfg.IQSize {
+		if c.iqCount() >= c.cfg.IQSize {
 			c.st.IQFullStalls++
 			break
 		}
@@ -39,16 +41,23 @@ func (c *Core) dispatch() {
 		}
 		u.state = stDispatched
 		c.trace(u, StageDispatch)
-		//tvplint:ignore hotpathalloc IQ capacity is preallocated at IQSize in NewFromEmulator and dispatch stalls on IQFull, so this append never grows
-		c.iq = append(c.iq, u.robIdx)
-		//tvplint:ignore hotpathalloc iqWake mirrors iq (same capacity, same length), so this append never grows either
-		c.iqWake = append(c.iqWake, 0)
 		c.st.IQAdded++
 		if u.isLoad {
 			c.lq.push(u.robIdx)
 		}
 		if u.isStore {
 			c.sq.push(u.robIdx)
+		}
+		if c.useSB {
+			// Classify once against current state (after the SQ push, so a
+			// store's own entry is visible to pendingStoreIdx ordering).
+			c.iqCnt++
+			c.schedEnqueue(u.robIdx)
+		} else {
+			//tvplint:ignore hotpathalloc IQ capacity is preallocated at IQSize in newCore and dispatch stalls on IQFull, so this append never grows
+			c.iq = append(c.iq, u.robIdx)
+			//tvplint:ignore hotpathalloc iqWake mirrors iq (same capacity, same length), so this append never grows either
+			c.iqWake = append(c.iqWake, 0)
 		}
 		if c.dispPtr++; c.dispPtr == len(c.rob) {
 			c.dispPtr = 0
@@ -119,45 +128,71 @@ func (c *Core) storePending(seq uint64) bool {
 	return false
 }
 
-// fu allocation state is rebuilt each cycle for pipelined units; the
-// unpipelined dividers hold their unit across cycles.
+// fu allocation state, kept as bitmasks over cfg.FUs (bit i = unit i).
+// The candidate set per µop class and the non-pipelined subset are
+// static (fuSetup); per cycle fuInit rebuilds only the taken and
+// still-busy masks, and allocFU reduces to mask arithmetic plus a
+// trailing-zeros pick — which preserves the config-order first-match
+// selection of the old linear scan. The unpipelined dividers hold their
+// unit across cycles via busyUntil.
 type fuState struct {
-	usedThisCycle []bool
-	busyUntil     []uint64
+	classMask [isa.ClassBranch + 1]uint32 // FU candidate set per class
+	npMask    uint32                      // non-pipelined units
+	usedMask  uint32                      // taken this cycle
+	busyMask  uint32                      // non-pipelined units busy this cycle
+	busyUntil []uint64
 }
 
+// fuSetup precomputes the static masks (newCore).
+func (c *Core) fuSetup() {
+	c.fus.busyUntil = make([]uint64, len(c.cfg.FUs))
+	for i := range c.cfg.FUs {
+		f := &c.cfg.FUs[i]
+		for cl := range c.fus.classMask {
+			if f.Classes&(uint32(1)<<uint(cl)) != 0 {
+				c.fus.classMask[cl] |= 1 << uint(i)
+			}
+		}
+		if !f.Pipelined {
+			c.fus.npMask |= 1 << uint(i)
+		}
+	}
+}
+
+//tvp:hotpath
 func (c *Core) fuInit() {
-	if c.fus.busyUntil == nil {
-		c.fus.busyUntil = make([]uint64, len(c.cfg.FUs))
-		c.fus.usedThisCycle = make([]bool, len(c.cfg.FUs))
+	c.fus.usedMask = 0
+	var bm uint32
+	for np := c.fus.npMask; np != 0; np &= np - 1 {
+		i := bits.TrailingZeros32(np)
+		if c.fus.busyUntil[i] > c.cycle {
+			bm |= 1 << uint(i)
+		}
 	}
-	for i := range c.fus.usedThisCycle {
-		c.fus.usedThisCycle[i] = false
-	}
+	c.fus.busyMask = bm
 }
 
 // allocFU finds a free functional unit able to execute the class.
 //tvp:hotpath
 func (c *Core) allocFU(class isa.Class) int {
-	bit := uint32(1) << uint(class)
-	for i := range c.cfg.FUs {
-		f := &c.cfg.FUs[i]
-		if f.Classes&bit == 0 || c.fus.usedThisCycle[i] {
-			continue
-		}
-		if !f.Pipelined && c.fus.busyUntil[i] > c.cycle {
-			continue
-		}
-		return i
+	avail := c.fus.classMask[class] &^ (c.fus.usedMask | c.fus.busyMask)
+	if avail == 0 {
+		return -1
 	}
-	return -1
+	return bits.TrailingZeros32(avail)
 }
 
 // issue selects up to IssueWidth ready µops from the IQ, oldest first,
 // assigns functional units, charges PRF reads, and computes completion
-// times (including cache access for loads).
+// times (including cache access for loads). Under the wakeup scoreboard
+// (scoreboard.go) the scan covers only the ready set; this polling loop
+// is the DisableWakeupScoreboard oracle.
 //tvp:hotpath
 func (c *Core) issue() {
+	if c.useSB {
+		c.sbIssue()
+		return
+	}
 	c.fuInit()
 	width := c.cfg.IssueWidth
 	for i := 0; i < len(c.iq) && width > 0; {
@@ -182,7 +217,7 @@ func (c *Core) issue() {
 		c.iq = append(c.iq[:i], c.iq[i+1:]...)
 		c.iqWake = append(c.iqWake[:i], c.iqWake[i+1:]...)
 		width--
-		c.fus.usedThisCycle[fu] = true
+		c.fus.usedMask |= 1 << uint(fu)
 		c.doIssue(u, fu)
 		if c.flushedThisCycle {
 			return
@@ -238,8 +273,34 @@ func (c *Core) doIssue(u *uop, fu int) {
 			c.intReadyAt[u.dst] = c.robReady[u.robIdx]
 		}
 	}
-	//tvplint:ignore hotpathalloc execL capacity is preallocated at ROBSize in NewFromEmulator and in-flight µops cannot exceed the ROB, so this append never grows
+	//tvplint:ignore hotpathalloc execL capacity is preallocated at ROBSize in newCore and in-flight µops cannot exceed the ROB, so this append never grows
 	c.execL = append(c.execL, u.robIdx)
+
+	// Scoreboard broadcast: readiness just became concrete, so wake the
+	// waiters that were registered on it. The destination-register list
+	// pairs with the speculative wakeup above (same condition, same
+	// readyAt value); the slot list covers flag consumers (robReady is now
+	// concrete) and memory-dependent loads (executedMem is now set for
+	// stores). Runs after all ready-time writes so reclassification sees
+	// final state.
+	// (The != noIdx guards keep the empty-list common case — most
+	// destinations have no waiters — from paying the wakeList call.)
+	if c.useSB {
+		if u.hasDst && u.freshDst {
+			if u.dstFP {
+				if c.fpWaitHead[u.dst] != noIdx {
+					c.wakeList(&c.fpWaitHead[u.dst])
+				}
+			} else if !u.vpWide {
+				if c.intWaitHead[u.dst] != noIdx {
+					c.wakeList(&c.intWaitHead[u.dst])
+				}
+			}
+		}
+		if c.slotWaitHead[u.robIdx] != noIdx {
+			c.wakeList(&c.slotWaitHead[u.robIdx])
+		}
+	}
 }
 
 //tvp:hotpath
@@ -255,7 +316,7 @@ func (c *Core) classLatency(u *uop) uint64 {
 	case isa.ClassFPALU:
 		return uint64(m.FPALULat)
 	case isa.ClassFPMul:
-		if u.dyn.Inst.Op == isa.FMADD {
+		if c.crack[u.sIdx].fpMac {
 			return uint64(m.FPMacLat)
 		}
 		return uint64(m.FPMulLat)
@@ -316,12 +377,12 @@ func (c *Core) issueLoad(u *uop) {
 func (c *Core) issueStore(u *uop) {
 	u.executedMem = true
 	c.robReady[u.robIdx] = c.cycle + uint64(c.cfg.StoreLat)
-	c.ssets.StoreExecuted(u.dyn.PC, u.seq)
+	c.ssets.StoreExecuted(c.crack[u.sIdx].pc, u.seq)
 
 	for _, li := range c.lq.live() {
 		l := &c.rob[li]
 		if l.seq > u.seq && l.executedMem && overlaps(l.ea, l.memSize, u.ea, u.memSize) {
-			c.ssets.Violation(l.dyn.PC, u.dyn.PC)
+			c.ssets.Violation(c.crack[l.sIdx].pc, c.crack[u.sIdx].pc)
 			c.st.MemOrderFlushes++
 			c.redirectCause = redirectMem
 			c.flush(l.seq, uint64(c.cfg.MemOrderFlushPenalty))
@@ -335,15 +396,19 @@ func (c *Core) issueStore(u *uop) {
 //tvp:hotpath
 func (c *Core) complete() {
 	c.flushedThisCycle = false
-	for i := 0; i < len(c.execL); {
+	// Single-pass compaction: survivors slide down as completions are
+	// processed, instead of paying a memmove per completed entry.
+	out := c.execL[:0]
+	for k := 0; k < len(c.execL); k++ {
+		i := c.execL[k]
 		// Poll the dense ready array first; the 128-byte uop line is only
 		// touched once the µop is actually due.
-		if c.robReady[c.execL[i]] > c.cycle {
-			i++
+		if c.robReady[i] > c.cycle {
+			//tvplint:ignore hotpathalloc out aliases execL[:0] and receives at most len(execL) survivors, so the append never grows
+			out = append(out, i)
 			continue
 		}
-		u := &c.rob[c.execL[i]]
-		c.execL = append(c.execL[:i], c.execL[i+1:]...)
+		u := &c.rob[i]
 		u.state = stDone
 		c.trace(u, StageComplete)
 
@@ -352,9 +417,18 @@ func (c *Core) complete() {
 		// prediction; compare it with the computed result. Under the
 		// EOLE-style alternative (§2.2) validation is deferred to retire.
 		if u.vpUsed && !c.cfg.VP.ValidateAtRetire {
+			// Splice survivors and the unprocessed tail back into a
+			// consistent list first: a misprediction flushes, and flush
+			// filters execL in place. (Overlapping forward copy; both
+			// halves live in execL's own backing, so no allocation.)
+			n := len(out)
+			//tvplint:ignore hotpathalloc splice of execL's own elements into execL's own backing (len(out)+tail <= len(execL)), never grows
+			c.execL = append(out, c.execL[k+1:]...)
 			if !c.validateVP(u) {
 				return // flushed; execL was rebuilt
 			}
+			out = c.execL[:n]
+			k = n - 1 // resume at what followed u
 		}
 
 		// Branch resolution: resume fetch if it was stalled on this
@@ -371,6 +445,7 @@ func (c *Core) complete() {
 			c.st.IntPRFWrites++
 		}
 	}
+	c.execL = out
 }
 
 // validateVP checks a used prediction against the computed result. It
@@ -378,7 +453,7 @@ func (c *Core) complete() {
 //tvp:hotpath
 func (c *Core) validateVP(u *uop) bool {
 	p, _ := c.pred(u.seq)
-	actual := u.dyn.Result
+	actual := c.stream.At(u.seq).Result
 	// bugSeqPlus1 models a broken validation comparator for the injected
 	// instruction (injectVPBug): the corrupted prediction passes
 	// validation so only the retire checker can catch it.
@@ -409,7 +484,7 @@ func (c *Core) validateVP(u *uop) bool {
 
 	c.st.VPFlushes++
 	if c.hooks != nil {
-		c.hooks.VPFlush(u.dyn.PC, u.dyn.Inst)
+		c.hooks.VPFlush(c.crack[u.sIdx].pc, c.instOf(u))
 	}
 	c.redirectCause = redirectVP
 	if u.vpWide {
@@ -511,7 +586,7 @@ func (c *Core) commit() {
 // (§6.1), and value predictor training (§3.3: the FIFO drains at retire).
 //tvp:hotpath
 func (c *Core) commitMainStats(u *uop) {
-	in := u.dyn.Inst
+	in := c.instOf(u)
 	if u.moveBlocked && !u.eliminated {
 		c.st.MoveNotElim++
 	}
@@ -565,7 +640,7 @@ func (c *Core) commitMainStats(u *uop) {
 			} else {
 				c.st.VPTrainOnly++
 			}
-			c.vpred.Train(p.vpLookup, u.dyn.Result)
+			c.vpred.Train(p.vpLookup, c.stream.At(u.seq).Result)
 		}
 	}
 }

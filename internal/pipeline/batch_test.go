@@ -1,0 +1,83 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/workload"
+)
+
+// TestBatchedSweepMatchesSerial pins the property the config-batched
+// sweep path (report.runAll) is built on: the functional instruction
+// stream depends only on the program, never on the machine
+// configuration, so N configurations replaying one recorded trace
+// (NewFromTrace) must produce exactly what N live-emulator runs (New)
+// produce — the full stats.Sim block, run shape, and the CPI stack,
+// bit-identical, across the workload suite, the skipConfigs machine
+// variants, and both cycle-skip settings. CrossCheck stays off on the
+// trace side (the shadow oracle requires a live emulator; NewFromTrace
+// rejects it), so the configs are re-derived here with the oracle
+// disarmed rather than reusing skipConfigs verbatim.
+func TestBatchedSweepMatchesSerial(t *testing.T) {
+	for _, name := range workload.Names() {
+		spec, err := workload.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One recording per workload, shared by every configuration below
+		// — exactly the sharing shape report.runAll schedules. The slack
+		// mirrors report.traceSlack: fetch runs ahead of commit by at most
+		// the in-flight window, far below one ring of headroom.
+		tr := emu.RecordTrace(emu.New(spec.Build()), 1000+20000+emu.DefaultStreamCapacity+64)
+		for cfgName, cfg := range skipConfigs() {
+			for _, skip := range []struct {
+				name    string
+				disable bool
+			}{{"skip", false}, {"tick", true}} {
+				t.Run(name+"/"+cfgName+"/"+skip.name, func(t *testing.T) {
+					m := cfg.Clone()
+					m.CrossCheck = false
+					m.DisableCycleSkip = skip.disable
+
+					live := New(m, spec.Build())
+					live.EnableCPIStack()
+					rlive := live.Run(1000, 20000)
+
+					replay := NewFromTrace(m, tr)
+					replay.EnableCPIStack()
+					rtrace := replay.Run(1000, 20000)
+
+					if rlive.Cycles != rtrace.Cycles || rlive.Committed != rtrace.Committed || rlive.Halted != rtrace.Halted {
+						t.Fatalf("run shape diverged: live (cycles=%d committed=%d halted=%v) vs trace replay (%d, %d, %v)",
+							rlive.Cycles, rlive.Committed, rlive.Halted, rtrace.Cycles, rtrace.Committed, rtrace.Halted)
+					}
+					if rlive.Stats != rtrace.Stats {
+						t.Errorf("stats diverged:\n       live: %+v\ntrace replay: %+v", rlive.Stats, rtrace.Stats)
+					}
+					if rlive.CPI != rtrace.CPI {
+						t.Errorf("CPI stack diverged:\n       live: %+v\ntrace replay: %+v", rlive.CPI, rtrace.CPI)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestTraceModeRejectsCrossCheck pins the guard: the shadow-oracle
+// checker needs a live emulator to restore its shadow from, so building
+// a core over a recorded trace with CrossCheck armed must panic rather
+// than silently skip the oracle.
+func TestTraceModeRejectsCrossCheck(t *testing.T) {
+	spec, err := workload.Get(workload.Names()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := emu.RecordTrace(emu.New(spec.Build()), 1000)
+	cfg := skipConfigs()["base"] // CrossCheck armed
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewFromTrace accepted a CrossCheck config; the oracle would be silently dead")
+		}
+	}()
+	NewFromTrace(cfg, tr)
+}

@@ -31,18 +31,26 @@ const (
 )
 
 // fqEntry is a fetched architectural instruction waiting for decode.
+// Pointer-free (tvplint hotstruct): the dynamic record is re-reached
+// through the stream arena by seq; the static index feeds the crack table.
+//
+//tvp:hotstruct
 type fqEntry struct {
-	dyn        *emu.DynInst
+	seq        uint64
 	fetchCycle uint64
+	sIdx       int32
 }
 
-// dqEntry is a decoded µop waiting for rename.
+// dqEntry is a decoded µop waiting for rename. Pointer-free like fqEntry.
+//
+//tvp:hotstruct
 type dqEntry struct {
-	dyn         *emu.DynInst
+	seq         uint64
+	decodeCycle uint64
+	sIdx        int32
 	kind        isa.UOpKind
 	class       isa.Class
 	last        bool
-	decodeCycle uint64
 }
 
 // predInfo caches fetch-time predictor state per dynamic instruction, so
@@ -63,6 +71,7 @@ type predInfo struct {
 type Core struct {
 	cfg    *config.Machine
 	stream *emu.Stream
+	code   []isa.Inst // program text (static instructions, indexed by uop.sIdx)
 	st     stats.Sim
 
 	// Predictors and memory system.
@@ -83,8 +92,8 @@ type Core struct {
 	skipped uint64 // cycles advanced by trySkip (diagnostic, not a stat)
 
 	// Frontend state.
-	fetchQ          queue[fqEntry]
-	decodeQ         queue[dqEntry]
+	fetchQ          ring[fqEntry]
+	decodeQ         ring[dqEntry]
 	fetchStallUntil uint64
 	waitBranchSeq   uint64 // fetch stalled until this branch resolves (+1); 0 = none
 	curFetchLine    uint64
@@ -110,6 +119,26 @@ type Core struct {
 	dispCnt      int // µops renamed but not yet dispatched
 	iq           []int32
 	iqWake       []uint64 // per-iq-entry issue lower bound (lockstep with iq); 0 = recheck every cycle
+	// Wakeup scoreboard (scoreboard.go): the event-driven replacement for
+	// the polling iq/iqWake scan, selected by useSB. Producers keep
+	// singly-linked waiter lists of IQ entries (per physical register and
+	// per ROB slot for flag/memdep obstacles); issue scans only readyMask.
+	// The polling structures above are retained verbatim as the oracle for
+	// TestIssueScoreboardEquivalence and DisableWakeupScoreboard runs.
+	useSB        bool
+	sbRecheck    bool     // GVP only: re-run srcsReady before issuing (repair can raise bounds)
+	schedState   []uint8  // per ROB slot: sNone / sWaiting / sReady
+	schedWake    []uint64 // per ROB slot: issue lower bound while sReady
+	waitNext     []int32  // per ROB slot: next waiter in the producer's list
+	waitKind     []uint8  // per ROB slot: which list the entry waits on (wkInt/wkFP/wkSlot)
+	waitKey      []int32  // per ROB slot: list key (phys reg name or producer ROB slot)
+	intWaitHead  []int32  // per int phys reg: head of its waiter list
+	fpWaitHead   []int32  // per fp phys reg: head of its waiter list
+	slotWaitHead []int32  // per ROB slot: waiters on a flag producer or pending store
+	readyMask    []uint64 // per ROB slot, one bit: set iff sReady; scanned in ring order from robHead
+	wheelHead    []int32  // per wake-wheel slot: head of the entries maturing that cycle (linked via waitNext)
+	wheelBits    []uint64 // per wake-wheel slot, one bit: set iff the slot is non-empty
+	iqCnt        int      // scheduler occupancy under useSB (mirrors len(iq))
 	lq           queue[int32]
 	sq           queue[int32]
 	execL        []int32
@@ -158,12 +187,39 @@ func New(cfg *config.Machine, p *prog.Program) *Core {
 // single functional warmup. Sequence numbering continues from the
 // emulator's position.
 func NewFromEmulator(cfg *config.Machine, e *emu.Emulator) *Core {
+	return newCore(cfg, emu.NewStream(e, 0), e.Prog, e)
+}
+
+// NewFromTrace builds a core that replays a pre-recorded functional trace
+// (emu.RecordTrace) instead of driving a live emulator. The functional
+// stream is configuration-invariant, so any number of machine
+// configurations can be built over one shared trace — the recording is
+// read-only and each core gets its own replay cursor. Timing results are
+// bit-identical to a live-emulator run from the same position
+// (TestBatchedSweepMatchesSerial).
+//
+// CrossCheck is not supported in trace mode: the differential validator
+// replays retirement against a shadow emulator snapshotted at core build,
+// which requires the live emulator.
+func NewFromTrace(cfg *config.Machine, t *emu.Trace) *Core {
+	if cfg.CrossCheck {
+		panic("pipeline: CrossCheck requires a live emulator (NewFromEmulator), not a recorded trace")
+	}
+	return newCore(cfg, emu.NewTraceStream(t), t.Prog, nil)
+}
+
+// newCore is the shared construction path: a validated config, a dynamic
+// instruction stream (live ring or recorded trace), the program for the
+// static tables, and the live emulator (nil in trace mode) for the
+// cross-check shadow snapshot.
+func newCore(cfg *config.Machine, stream *emu.Stream, p *prog.Program, e *emu.Emulator) *Core {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
 	c := &Core{
 		cfg:    cfg,
-		stream: emu.NewStream(e, 0),
+		stream: stream,
+		code:   p.Code,
 	}
 	c.tage = bp.NewTAGE(bp.TAGEConfig{
 		BaseLog2:   cfg.BPBaseLog2,
@@ -206,20 +262,80 @@ func NewFromEmulator(cfg *config.Machine, e *emu.Emulator) *Core {
 	c.execL = make([]int32, 0, cfg.ROBSize)
 	c.lq.buf = make([]int32, 0, cfg.LQSize)
 	c.sq.buf = make([]int32, 0, cfg.SQSize)
-	c.intReadyAt = make([]uint64, cfg.IntPRF)
-	c.fpReadyAt = make([]uint64, cfg.FPPRF)
-	c.predictedReg = make([]int32, cfg.IntPRF)
+	c.lastFlagWIdx = noIdx
+	// Wakeup scoreboard arrays (scoreboard.go): all per-ROB-slot or
+	// per-physical-register, preallocated once; list heads start empty.
+	// The PRF-ready and scoreboard arrays are carved from one backing
+	// allocation per element type to keep core construction cheap:
+	// bench-guard counts whole-run allocs/op, and per-slice makes here
+	// showed up against it.
+	c.useSB = !cfg.DisableWakeupScoreboard
+	// Only GVP can raise a concrete ready time after the scoreboard has
+	// cached it (wide-prediction repair rewrites intReadyAt at validation,
+	// backend.go validateVP); every other producer writes its ready time
+	// exactly once. So outside GVP a schedWake bound that has arrived is
+	// the truth and sbIssue skips the srcsReady re-check.
+	c.sbRecheck = cfg.VP.Mode == config.GVP
+	u64 := make([]uint64, cfg.IntPRF+cfg.FPPRF+cfg.ROBSize+(cfg.ROBSize+63)/64+wheelSpan/64)
+	c.intReadyAt, u64 = u64[:cfg.IntPRF:cfg.IntPRF], u64[cfg.IntPRF:]
+	c.fpReadyAt, u64 = u64[:cfg.FPPRF:cfg.FPPRF], u64[cfg.FPPRF:]
+	c.schedWake, u64 = u64[:cfg.ROBSize:cfg.ROBSize], u64[cfg.ROBSize:]
+	nrm := (cfg.ROBSize + 63) / 64
+	c.readyMask, u64 = u64[:nrm:nrm], u64[nrm:]
+	c.wheelBits = u64
+	i32 := make([]int32, 3*cfg.ROBSize+2*cfg.IntPRF+cfg.FPPRF+wheelSpan)
+	c.predictedReg, i32 = i32[:cfg.IntPRF:cfg.IntPRF], i32[cfg.IntPRF:]
+	c.waitNext, i32 = i32[:cfg.ROBSize:cfg.ROBSize], i32[cfg.ROBSize:]
+	c.waitKey, i32 = i32[:cfg.ROBSize:cfg.ROBSize], i32[cfg.ROBSize:]
+	c.slotWaitHead, i32 = i32[:cfg.ROBSize:cfg.ROBSize], i32[cfg.ROBSize:]
+	c.intWaitHead, i32 = i32[:cfg.IntPRF:cfg.IntPRF], i32[cfg.IntPRF:]
+	c.fpWaitHead, i32 = i32[:cfg.FPPRF:cfg.FPPRF], i32[cfg.FPPRF:]
+	c.wheelHead = i32
+	u8 := make([]uint8, 2*cfg.ROBSize)
+	c.schedState, c.waitKind = u8[:cfg.ROBSize:cfg.ROBSize], u8[cfg.ROBSize:]
 	for i := range c.predictedReg {
 		c.predictedReg[i] = noIdx
 	}
-	c.lastFlagWIdx = noIdx
+	for i := range c.intWaitHead {
+		c.intWaitHead[i] = noIdx
+	}
+	for i := range c.fpWaitHead {
+		c.fpWaitHead[i] = noIdx
+	}
+	for i := range c.slotWaitHead {
+		c.slotWaitHead[i] = noIdx
+	}
+	for i := range c.wheelHead {
+		c.wheelHead[i] = noIdx
+	}
 	// Cracking depends only on the static instruction, so the decode
 	// stage's per-µop switch work is hoisted here, once per text entry.
-	c.crack = make([]crackStatic, len(e.Prog.Code))
-	for i := range e.Prog.Code {
-		in := &e.Prog.Code[i]
-		c.crack[i] = crackStatic{class: isa.OpClass(in.Op), two: isa.CrackCount(in) == 2}
+	// The PC is static too (prog.PC is a pure function of the index), so
+	// hot-path consumers (store-set training, probe hooks, CPI hooks) read
+	// it from here instead of touching the dynamic record.
+	c.crack = make([]crackStatic, len(p.Code))
+	for i := range p.Code {
+		in := &p.Code[i]
+		plan, flags := srcPlanOf(in), crackFlagsOf(in)
+		// The reduction engine inspects both integer operands regardless
+		// of the source plan, so decide-eligible µops always read them.
+		need := plan & (spN | spM)
+		if flags&cfDecide != 0 {
+			need = spN | spM
+		}
+		c.crack[i] = crackStatic{
+			pc:    prog.PC(i),
+			class: isa.OpClass(in.Op),
+			two:   isa.CrackCount(in) == 2,
+			fpMac: in.Op == isa.FMADD,
+			plan:  plan,
+			flags: flags,
+			need:  need,
+		}
 	}
+	c.fuSetup()
+	c.fetchQ = newRing[fqEntry](cfg.FetchQueue)
+	c.decodeQ = newRing[dqEntry](dqCap)
 	c.predRing = make([]predInfo, emu.DefaultStreamCapacity)
 	c.curFetchLine = ^uint64(0)
 	c.skipOK = !cfg.DisableCycleSkip
@@ -305,8 +421,17 @@ func (c *Core) Run(warmup, maxInsts uint64) Result {
 // (skip.go) and runs the stages there.
 //tvp:hotpath
 func (c *Core) step() {
+	// Mature the wake wheel before trySkip (and again after a jump), so
+	// the ready mask is exact for this cycle's skip decision and issue.
+	if c.useSB {
+		c.wheelAdvance()
+	}
 	if c.skipOK {
+		n := c.cycle
 		c.trySkip()
+		if c.useSB && c.cycle != n {
+			c.wheelAdvance()
+		}
 	}
 	if c.acct != nil {
 		c.cpiBegin()
@@ -325,8 +450,23 @@ func (c *Core) step() {
 	c.st.Cycles++
 	if c.cycle-c.lastCommitC > deadlockWindow {
 		panic(fmt.Sprintf("pipeline: no commit for %d cycles at cycle %d (rob=%d iq=%d head-state=%v)",
-			uint64(deadlockWindow), c.cycle, c.robCnt, len(c.iq), c.headState()))
+			uint64(deadlockWindow), c.cycle, c.robCnt, c.iqCount(), c.headState()))
 	}
+}
+
+// instOf returns the static instruction of a µop.
+//
+//tvp:hotpath
+func (c *Core) instOf(u *uop) *isa.Inst { return &c.code[u.sIdx] }
+
+// iqCount returns the scheduler occupancy under either issue scheme.
+//
+//tvp:hotpath
+func (c *Core) iqCount() int {
+	if c.useSB {
+		return c.iqCnt
+	}
+	return len(c.iq)
 }
 
 func (c *Core) headState() string {
@@ -334,7 +474,7 @@ func (c *Core) headState() string {
 		return "empty"
 	}
 	u := &c.rob[c.robHead]
-	s := fmt.Sprintf("seq=%d op=%v kind=%d state=%d ready=%d", u.seq, u.dyn.Inst.Op, u.kind, u.state, c.robReady[c.robHead])
+	s := fmt.Sprintf("seq=%d op=%v kind=%d state=%d ready=%d", u.seq, c.instOf(u).Op, u.kind, u.state, c.robReady[c.robHead])
 	for i := 0; i < int(u.nsrc); i++ {
 		src := u.srcs[i]
 		if src.fp {

@@ -137,7 +137,7 @@ func (c *Core) cpiAccount() {
 	*c.classifyIdle(c.cycle, c.stallSum() != a.stallBase) += idle
 	if c.robCnt > 0 && c.cpiHooks != nil {
 		h := &c.rob[c.robHead]
-		c.cpiHooks.CommitStall(h.dyn.PC, h.dyn.Inst, idle)
+		c.cpiHooks.CommitStall(c.crack[h.sIdx].pc, c.instOf(h), idle)
 	}
 }
 
@@ -151,7 +151,7 @@ func (c *Core) cpiSkip(n, delta uint64, structural bool) {
 	*c.classifyIdle(n, structural) += slots
 	if c.robCnt > 0 && c.cpiHooks != nil {
 		h := &c.rob[c.robHead]
-		c.cpiHooks.CommitStall(h.dyn.PC, h.dyn.Inst, slots)
+		c.cpiHooks.CommitStall(c.crack[h.sIdx].pc, c.instOf(h), slots)
 	}
 }
 

@@ -48,6 +48,11 @@ type crossCheck struct {
 // µop); used predictions are captured at the main µop so multi-µop
 // instructions check the prediction their main µop consumed.
 func (x *crossCheck) retireUop(c *Core, u *uop) {
+	// The retiring µop's dynamic record is re-read from the stream arena
+	// (the ring far exceeds the instruction window, so the record is
+	// intact — the pred-ring check below asserts the same invariant for
+	// the predictor ring).
+	d := c.stream.At(u.seq)
 	if u.kind == isa.UOpMain && u.vpUsed {
 		// Read the fetch-time record directly: c.pred would reset a stale
 		// entry, and the ring (stream capacity) far exceeds the ROB, so a
@@ -55,7 +60,7 @@ func (x *crossCheck) retireUop(c *Core, u *uop) {
 		// deeply wrong — treat that as a divergence too.
 		p := &c.predRing[u.seq&(emu.DefaultStreamCapacity-1)]
 		if p.seqPlus1 != u.seq+1 {
-			x.fail(u.dyn, "pred-ring", u.seq+1, p.seqPlus1)
+			x.fail(d, "pred-ring", u.seq+1, p.seqPlus1)
 		}
 		x.vpPend = true
 		x.vpVal = p.vpValue
@@ -63,7 +68,6 @@ func (x *crossCheck) retireUop(c *Core, u *uop) {
 	if !u.last {
 		return
 	}
-	d := u.dyn
 	if x.shadow.Halted() {
 		x.fail(d, "retire-past-halt", 0, d.Seq)
 	}

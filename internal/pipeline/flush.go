@@ -28,6 +28,22 @@ func (c *Core) flush(seq uint64, penalty uint64) {
 			}
 		}
 		c.trace(u, StageSquash)
+		if c.useSB && u.state == stDispatched {
+			// Scoreboard teardown: a waiting entry is unlinked from its
+			// producer's list explicitly (slot indices recycle; a stale
+			// link would alias the slot's next occupant); a ready entry
+			// clears its readyMask bit.
+			c.iqCnt--
+			switch c.schedState[tail] {
+			case sWaiting:
+				c.sbUnlink(int32(tail))
+			case sWheel:
+				c.wheelUnlink(int32(tail))
+			case sReady:
+				c.readyMask[tail>>6] &^= 1 << (uint(tail) & 63)
+			}
+			c.schedState[tail] = sNone
+		}
 		u.uSeq = 0 // invalidate flag-dependence references to this slot
 		c.robTail = tail
 		c.robCnt--
@@ -60,6 +76,9 @@ func (c *Core) flush(seq uint64, penalty uint64) {
 		}
 		c.iq, c.iqWake = out, wout
 	}
+	// (readyMask needs no filter pass: the squash loop above cleared each
+	// squashed sReady entry's bit; survivors keep their still-sound
+	// schedWake bounds, mirroring the iqWake treatment.)
 	c.lq.filterLive(func(i int32) bool { return c.rob[i].seq < seq })
 	c.sq.filterLive(func(i int32) bool { return c.rob[i].seq < seq })
 	c.execL = c.filterIdx(c.execL, seq)

@@ -24,7 +24,7 @@ func (c *Core) fetch() {
 			return
 		}
 		if d.Inst.Op == isa.HALT {
-			c.stream.Next()
+			c.stream.Advance()
 			c.haltSeen = true
 			return
 		}
@@ -47,11 +47,14 @@ func (c *Core) fetch() {
 			c.firstFetch(d, p)
 		}
 
-		c.stream.Next()
-		c.fetchQ.push(fqEntry{dyn: d, fetchCycle: c.cycle})
+		c.stream.Advance()
+		f := c.fetchQ.pushSlot()
+		f.seq = d.Seq
+		f.fetchCycle = c.cycle
+		f.sIdx = int32(d.Index)
 		c.st.FetchedInsts++
 
-		if isa.IsBranch(d.Inst.Op) {
+		if c.crack[d.Index].flags&cfBranch != 0 {
 			if p.bpMispred {
 				// Fetch cannot proceed past a mispredicted branch until
 				// it resolves (trace-driven discipline: the wrong path is
@@ -144,13 +147,136 @@ func (c *Core) firstFetch(d *emu.DynInst, p *predInfo) {
 }
 
 // crackStatic is the precomputed decode of one static instruction: its
-// Main-µop class and whether a BaseUpdate µop follows (pre/post-index
-// memory ops). Built once per program text in NewFromEmulator, it
-// replaces the per-dynamic-instruction isa.Crack/CrackCount switches in
-// decode — identical output, no per-µop dispatch on the opcode.
+// PC (prog.PC is a pure function of the index), its Main-µop class,
+// whether a BaseUpdate µop follows (pre/post-index memory ops), whether
+// it is a fused multiply-add (the one latency special case), its source
+// plan, and its predicate flags. Built once per program text in newCore,
+// it replaces the per-dynamic-instruction isa.Crack/CrackCount switches
+// in decode, the collectSrcs opcode switch, the rename-stage isa
+// predicate calls, and the dynamic-record PC reads on the backend's hot
+// paths — identical output, no per-µop dispatch on the opcode.
+//
+//tvp:hotstruct
 type crackStatic struct {
+	pc    uint64
 	class isa.Class
 	two   bool
+	fpMac bool
+	plan  uint8 // srcPlan bits (sp*)
+	flags uint8 // predicate bits (cf*)
+	need  uint8 // sp{N,M} bits for which rename must read the RAT at all
+}
+
+// Source-plan bits: which register sources a µop reads, with the static
+// conditions (UseImm, addressing mode) already folded in. Bit order is
+// collection order: int Rn, int Rm, int Rd, then FP Rn/Rm/Ra/Rd —
+// every opcode's source list in isa order is a subsequence of that.
+const (
+	spN     uint8 = 1 << iota // int source Rn (the pre-renamed srcN)
+	spM                       // int source Rm (register form only)
+	spRdInt                   // int source Rd (MOVK read-modify-write, STR data)
+	spFPn                     // FP source Rn
+	spFPm                     // FP source Rm
+	spFPa                     // FP source Ra (FMADD)
+	spFPd                     // FP source Rd (FSTR data)
+)
+
+// Predicate flags: the per-µop isa predicate calls of the rename and
+// fetch stages, evaluated once per static instruction.
+const (
+	cfDecide       uint8 = 1 << iota // reduction-engine eligible (int, non-mem, non-FCMP)
+	cfSetsFlags                      // isa.SetsFlags
+	cfReadsFlags                     // isa.ReadsFlags
+	cfBranch                         // isa.IsBranch
+	cfStaticReduce                   // Decide can fire with no dynamic knowledge
+)
+
+// srcPlanOf computes the static source plan — the same obstacle set, in
+// the same order, as the opcode switch collectSrcs used to dispatch on
+// per dynamic µop. RET/BR read Rn through the RAT exactly like srcN, so
+// they share the spN bit.
+func srcPlanOf(in *isa.Inst) uint8 {
+	switch in.Op {
+	case isa.ADD, isa.ADDS, isa.SUB, isa.SUBS, isa.AND, isa.ANDS,
+		isa.ORR, isa.EOR, isa.BIC, isa.LSL, isa.LSR, isa.ASR, isa.MUL,
+		isa.SDIV, isa.UDIV:
+		if in.UseImm {
+			return spN
+		}
+		return spN | spM
+	case isa.UBFM, isa.RBIT:
+		return spN
+	case isa.MOVK:
+		return spRdInt // read-modify-write
+	case isa.CSEL, isa.CSINC, isa.CSNEG:
+		return spN | spM
+	case isa.LDR, isa.FLDR:
+		if in.Mode == isa.AddrReg {
+			return spN | spM
+		}
+		return spN
+	case isa.STR:
+		if in.Mode == isa.AddrReg {
+			return spN | spM | spRdInt
+		}
+		return spN | spRdInt // store data
+	case isa.FSTR:
+		if in.Mode == isa.AddrReg {
+			return spN | spM | spFPd
+		}
+		return spN | spFPd // store data
+	case isa.CBZ, isa.CBNZ, isa.TBZ, isa.TBNZ, isa.RET, isa.BR, isa.SCVTF:
+		return spN
+	case isa.FADD, isa.FSUB, isa.FMUL, isa.FDIV, isa.FCMP:
+		return spFPn | spFPm
+	case isa.FMADD:
+		return spFPn | spFPm | spFPa
+	case isa.FNEG, isa.FABS, isa.FMOV, isa.FCVTZS:
+		return spFPn
+	}
+	return 0 // MOVZ, MOVN, B, BL, BCOND: no register sources
+}
+
+// crackFlagsOf evaluates the static predicate bits.
+func crackFlagsOf(in *isa.Inst) uint8 {
+	var f uint8
+	if !isa.IsMem(in.Op) && !isa.IsFP(in.Op) && in.Op != isa.FCMP {
+		f |= cfDecide
+	}
+	if isa.SetsFlags(in.Op) {
+		f |= cfSetsFlags
+	}
+	if isa.ReadsFlags(in.Op) {
+		f |= cfReadsFlags
+	}
+	if isa.IsBranch(in.Op) {
+		f |= cfBranch
+	}
+	// cfStaticReduce marks the purely static Decide patterns: zero/one
+	// idioms (EOR rr, AND with XZR, MOVZ immediates), baseline move-idiom
+	// shapes (reg-form ADD/ORR/EOR with one XZR operand — the only source
+	// of moveBlocked), 9-bit MOVZ/MOVN immediates, and BIC #0. Every other
+	// row of Decide/table1 requires a Known source operand or known NZCV,
+	// so rename may skip the call entirely when a µop has neither the flag
+	// nor any dynamic knowledge. Marking all MOVZ/MOVN keeps the predicate
+	// a superset: a spurious bit only costs a no-op Decide call.
+	switch in.Op {
+	case isa.MOVZ, isa.MOVN:
+		f |= cfStaticReduce
+	case isa.EOR:
+		if !in.UseImm && (in.Rn == in.Rm || in.Rn == isa.XZR || in.Rm == isa.XZR) {
+			f |= cfStaticReduce
+		}
+	case isa.AND, isa.ADD, isa.ORR:
+		if !in.UseImm && (in.Rn == isa.XZR || in.Rm == isa.XZR) {
+			f |= cfStaticReduce
+		}
+	case isa.BIC:
+		if in.UseImm && in.Imm == 0 {
+			f |= cfStaticReduce
+		}
+	}
+	return f
 }
 
 // dqCap bounds the decode-to-rename µop queue. Package-level because
@@ -162,11 +288,11 @@ const dqCap = 32
 //tvp:hotpath
 func (c *Core) decode() {
 	for n := 0; n < c.cfg.DecodeWidth && c.fetchQ.len() > 0; n++ {
-		e := *c.fetchQ.front()
+		e := c.fetchQ.front()
 		if e.fetchCycle+uint64(c.cfg.FetchToDecode) > c.cycle {
 			break
 		}
-		ci := c.crack[e.dyn.Index]
+		ci := c.crack[e.sIdx]
 		cnt := 1
 		if ci.two {
 			cnt = 2
@@ -175,21 +301,21 @@ func (c *Core) decode() {
 			break
 		}
 		c.fetchQ.popFront()
-		c.decodeQ.push(dqEntry{
-			dyn:         e.dyn,
-			kind:        isa.UOpMain,
-			class:       ci.class,
-			last:        !ci.two,
-			decodeCycle: c.cycle,
-		})
+		d := c.decodeQ.pushSlot()
+		d.seq = e.seq
+		d.sIdx = e.sIdx
+		d.kind = isa.UOpMain
+		d.class = ci.class
+		d.last = !ci.two
+		d.decodeCycle = c.cycle
 		if ci.two {
-			c.decodeQ.push(dqEntry{
-				dyn:         e.dyn,
-				kind:        isa.UOpBaseUpdate,
-				class:       isa.ClassIntALU,
-				last:        true,
-				decodeCycle: c.cycle,
-			})
+			d = c.decodeQ.pushSlot()
+			d.seq = e.seq
+			d.sIdx = e.sIdx
+			d.kind = isa.UOpBaseUpdate
+			d.class = isa.ClassIntALU
+			d.last = true
+			d.decodeCycle = c.cycle
 		}
 	}
 }
@@ -201,7 +327,9 @@ func (c *Core) decode() {
 //tvp:hotpath
 func (c *Core) renameStage() {
 	for n := 0; n < c.cfg.RenameWidth && c.decodeQ.len() > 0; n++ {
-		e := *c.decodeQ.front()
+		// The front pointer stays valid across popFront: the cell is only
+		// reused by a push, and decode runs after rename within a step.
+		e := c.decodeQ.front()
 		if e.decodeCycle+uint64(c.cfg.DecodeToRename) > c.cycle {
 			break
 		}
@@ -233,11 +361,12 @@ func (c *Core) renameStage() {
 
 // renameUop fills one ROB entry.
 //tvp:hotpath
-func (c *Core) renameUop(u *uop, idx int32, e dqEntry) {
+func (c *Core) renameUop(u *uop, idx int32, e *dqEntry) {
 	c.uSeqCtr++
-	u.reset(e.dyn, e.kind, e.class, e.last, c.uSeqCtr, c.cycle, idx)
+	u.reset(e.seq, e.sIdx, e.kind, e.class, e.last, c.uSeqCtr, c.cycle, idx)
 	c.robReady[idx] = neverReady
-	in := e.dyn.Inst
+	in := &c.code[e.sIdx]
+	ci := &c.crack[e.sIdx]
 
 	if e.kind == isa.UOpBaseUpdate {
 		c.renameBaseUpdate(u, in)
@@ -258,24 +387,36 @@ func (c *Core) renameUop(u *uop, idx int32, e dqEntry) {
 	}
 
 	// Source operands through the RAT (before any destination update).
-	srcN := c.ren.SrcInt(in.Rn)
-	srcM := c.ren.SrcInt(in.Rm)
+	// Gated on the static need bits: memory and FP µops outside the
+	// reduction engine never look at the skipped operand, so the zero
+	// Operand is dead.
+	var srcN, srcM rename.Operand
+	if ci.need&spN != 0 {
+		c.ren.SrcIntInto(&srcN, in.Rn)
+	}
+	if ci.need&spM != 0 {
+		c.ren.SrcIntInto(&srcM, in.Rm)
+	}
 
-	// Rename-time reduction engine (integer, non-memory µops only).
-	if !isa.IsMem(in.Op) && !isa.IsFP(in.Op) && in.Op != isa.FCMP {
+	// Rename-time reduction engine (integer, non-memory µops only). With
+	// no static pattern and no dynamic knowledge the call is a provable
+	// no-op (KindNone, moveBlocked false) and is skipped.
+	if ci.flags&cfDecide != 0 {
 		nz, nzSpec, nzKnown := c.ren.NZCV()
-		d, moveBlocked := c.engine.Decide(in, srcN, srcM, nz, nzSpec, nzKnown)
-		u.moveBlocked = moveBlocked
-		if d.Kind != rename.KindNone {
-			c.applyReduction(u, in, d)
-			return
+		if ci.flags&cfStaticReduce != 0 || srcN.Known || srcM.Known || nzKnown {
+			d, moveBlocked := c.engine.Decide(in, &srcN, &srcM, nz, nzSpec, nzKnown)
+			u.moveBlocked = moveBlocked
+			if d.Kind != rename.KindNone {
+				c.applyReduction(u, in, d)
+				return
+			}
 		}
 	}
 
 	// Regular renaming of sources for the scheduler (must precede any
 	// destination update: MOVK and stores read registers the instruction
 	// may also define).
-	c.collectSrcs(u, in, srcN, srcM)
+	c.collectSrcs(u, ci.plan, in, &srcN, &srcM)
 
 	// Value prediction (§3.1/§3.2/§6.1): rename the destination to a
 	// hardwired register, an inlined value name, or (GVP, wide values) a
@@ -283,13 +424,13 @@ func (c *Core) renameUop(u *uop, idx int32, e dqEntry) {
 	c.tryValuePredict(u, in)
 
 	// Flags.
-	if isa.SetsFlags(in.Op) {
+	if ci.flags&cfSetsFlags != 0 {
 		u.flagW = true
 		c.ren.InvalidateNZCV()
 		c.lastFlagWIdx = u.robIdx
 		c.lastFlagWSeq = u.uSeq
 	}
-	if isa.ReadsFlags(in.Op) {
+	if ci.flags&cfReadsFlags != 0 {
 		if _, _, known := c.ren.NZCV(); !known {
 			u.flagR = true
 			if c.lastFlagWIdx != noIdx && c.rob[c.lastFlagWIdx].uSeq == c.lastFlagWSeq {
@@ -308,17 +449,21 @@ func (c *Core) renameUop(u *uop, idx int32, e dqEntry) {
 	// Note: LFST entries can be stale after a flush (a squashed store's
 	// registration survives and the refetched instance re-registers), so
 	// a dependence is honored only when it names a strictly older store.
+	// The effective address is the one per-µop dynamic fact rename needs;
+	// it is re-read from the stream arena (the record is retained at least
+	// until the instruction leaves the window — the same invariant the
+	// predRing relies on).
 	if u.isLoad {
-		u.ea = e.dyn.EA
+		u.ea = c.stream.At(e.seq).EA
 		u.memSize = in.Size
-		if seq, ok := c.ssets.RenameLoad(e.dyn.PC); ok && seq < u.seq {
+		if seq, ok := c.ssets.RenameLoad(ci.pc); ok && seq < u.seq {
 			u.memDepSeq = seq + 1
 		}
 	}
 	if u.isStore {
-		u.ea = e.dyn.EA
+		u.ea = c.stream.At(e.seq).EA
 		u.memSize = in.Size
-		if prev, ok := c.ssets.RenameStore(e.dyn.PC, e.dyn.Seq); ok && prev < u.seq {
+		if prev, ok := c.ssets.RenameStore(ci.pc, e.seq); ok && prev < u.seq {
 			u.memDepSeq = prev + 1
 		}
 	}
@@ -458,80 +603,42 @@ func (c *Core) tryValuePredict(u *uop, in *isa.Inst) {
 
 // collectSrcs gathers the physical-register sources a µop must wait for
 // (known value names, hardwired registers, and XZR never wait and never
-// read the PRF).
+// read the PRF). The obstacle set and order come from the static source
+// plan; the bit order of sp* is collection order, so testing the bits
+// low-to-high reproduces the old opcode switch exactly.
 //tvp:hotpath
-func (c *Core) collectSrcs(u *uop, in *isa.Inst, srcN, srcM rename.Operand) {
-	addInt := func(op rename.Operand) {
-		if op.Known {
-			return
-		}
-		u.srcs[u.nsrc] = srcOperand{name: op.Name}
+func (c *Core) collectSrcs(u *uop, plan uint8, in *isa.Inst, srcN, srcM *rename.Operand) {
+	if plan&spN != 0 && !srcN.Known {
+		u.srcs[u.nsrc] = srcOperand{name: srcN.Name}
 		u.nsrc++
 	}
-	addIntReg := func(r isa.Reg) { addInt(c.ren.SrcInt(r)) }
-	addFP := func(r isa.Reg) {
-		u.srcs[u.nsrc] = srcOperand{name: c.ren.SrcFP(r), fp: true}
+	if plan&spM != 0 && !srcM.Known {
+		u.srcs[u.nsrc] = srcOperand{name: srcM.Name}
 		u.nsrc++
 	}
-
-	switch in.Op {
-	case isa.ADD, isa.ADDS, isa.SUB, isa.SUBS, isa.AND, isa.ANDS,
-		isa.ORR, isa.EOR, isa.BIC, isa.LSL, isa.LSR, isa.ASR, isa.MUL,
-		isa.SDIV, isa.UDIV:
-		addInt(srcN)
-		if !in.UseImm {
-			addInt(srcM)
+	if plan&spRdInt != 0 {
+		if op := c.ren.SrcInt(in.Rd); !op.Known {
+			u.srcs[u.nsrc] = srcOperand{name: op.Name}
+			u.nsrc++
 		}
-	case isa.UBFM, isa.RBIT:
-		addInt(srcN)
-	case isa.MOVK:
-		addIntReg(in.Rd) // read-modify-write
-	case isa.MOVZ, isa.MOVN:
-		// no register sources
-	case isa.CSEL, isa.CSINC, isa.CSNEG:
-		addInt(srcN)
-		addInt(srcM)
-	case isa.LDR:
-		addInt(srcN)
-		if in.Mode == isa.AddrReg {
-			addInt(srcM)
+	}
+	if plan >= spFPn { // any FP source bit set
+		if plan&spFPn != 0 {
+			u.srcs[u.nsrc] = srcOperand{name: c.ren.SrcFP(in.Rn), fp: true}
+			u.nsrc++
 		}
-	case isa.STR:
-		addInt(srcN)
-		if in.Mode == isa.AddrReg {
-			addInt(srcM)
+		if plan&spFPm != 0 {
+			u.srcs[u.nsrc] = srcOperand{name: c.ren.SrcFP(in.Rm), fp: true}
+			u.nsrc++
 		}
-		addIntReg(in.Rd) // store data
-	case isa.FLDR:
-		addInt(srcN)
-		if in.Mode == isa.AddrReg {
-			addInt(srcM)
+		if plan&spFPa != 0 {
+			u.srcs[u.nsrc] = srcOperand{name: c.ren.SrcFP(in.Ra), fp: true}
+			u.nsrc++
 		}
-	case isa.FSTR:
-		addInt(srcN)
-		if in.Mode == isa.AddrReg {
-			addInt(srcM)
+		if plan&spFPd != 0 {
+			u.srcs[u.nsrc] = srcOperand{name: c.ren.SrcFP(in.Rd), fp: true}
+			u.nsrc++
 		}
-		addFP(in.Rd) // store data
-	case isa.CBZ, isa.CBNZ, isa.TBZ, isa.TBNZ:
-		addInt(srcN)
-	case isa.RET, isa.BR:
-		addIntReg(in.Rn)
-	case isa.B, isa.BL, isa.BCOND:
-		// no register sources
-	case isa.FADD, isa.FSUB, isa.FMUL, isa.FDIV, isa.FCMP:
-		addFP(in.Rn)
-		addFP(in.Rm)
-	case isa.FMADD:
-		addFP(in.Rn)
-		addFP(in.Rm)
-		addFP(in.Ra)
-	case isa.FNEG, isa.FABS, isa.FMOV:
-		addFP(in.Rn)
-	case isa.SCVTF:
-		addInt(srcN)
-	case isa.FCVTZS:
-		addFP(in.Rn)
 	}
 }
 

@@ -80,7 +80,7 @@ func (c *Core) l1dAccess(u *uop, cycle uint64, write bool) uint64 {
 	m0 := c.mem.L1D.Misses
 	ready := c.mem.L1D.Access(u.ea, cycle, write, false)
 	if c.mem.L1D.Misses != m0 {
-		c.hooks.L1DMiss(u.dyn.PC, u.dyn.Inst)
+		c.hooks.L1DMiss(c.crack[u.sIdx].pc, c.instOf(u))
 	}
 	return ready
 }

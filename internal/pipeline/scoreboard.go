@@ -1,0 +1,340 @@
+package pipeline
+
+import "math/bits"
+
+// Event-driven wakeup scoreboard.
+//
+// The polling issue loop (backend.go issue()) re-evaluates every IQ
+// entry's source readiness each cycle: O(IQ occupancy) ROB-line touches
+// per cycle even when nothing can issue. The scoreboard inverts the
+// dependence: each dispatched µop is classified once, against the same
+// state the polling scan would read —
+//
+//   - sReady: every obstacle has a concrete lower bound. The entry sets
+//     its bit in readyMask (one bit per ROB slot) with schedWake = the
+//     max concrete bound, and issue only scans the set bits.
+//   - sWaiting: some obstacle is unbounded — a source register whose
+//     producer has not issued (readyAt == neverReady), an in-flight flag
+//     producer, or an unexecuted store the µop's memory dependence names.
+//     The entry links onto that producer's waiter list and costs nothing
+//     per cycle.
+//
+// Producers push readiness: when a µop issues, doIssue wakes the waiter
+// list of its destination register (exactly when the polling scheme's
+// speculative wakeup writes the readyAt the waiters were polling) and of
+// its own ROB slot (flag consumers poll robReady; memory-dependent loads
+// poll executedMem — both become concrete at issue). A woken entry is
+// reclassified by schedEnqueue: it either chains onto its next unbounded
+// obstacle or enters the ready set with a concrete bound.
+//
+// Exactness (TestIssueScoreboardEquivalence asserts bit-identical stats
+// and CPI stacks against the polling loop; the FuzzMetamorphic
+// DisableWakeupScoreboard mutation fuzzes the claim):
+//
+//   - Registration is one-at-a-time, in the polling scan's obstacle
+//     order, so an entry has its readyMask bit set iff the polling
+//     srcsReady would return a concrete bound for it. Concrete ready
+//     times never decrease (producers broadcast once; GVP repair only
+//     raises them), so schedWake is a sound issue lower bound. Under GVP
+//     sbIssue re-runs srcsReady before issuing — the actual issue
+//     decision is made by the identical predicate on identical state;
+//     under the other modes a concrete ready time is written exactly
+//     once, so an arrived bound implies srcsReady and the re-check is
+//     skipped as a proven no-op.
+//   - ROB slots are allocated in dispatch order, so ring order from
+//     robHead is exactly uSeq order: sbIssue walks readyMask word by
+//     word starting at robHead's bit and the ready subset is scanned
+//     oldest-first exactly like the polling scan's in-order IQ walk —
+//     FU allocation and issue-width consumption see the same candidate
+//     sequence. A same-cycle wake (store execution releasing a
+//     dependent load) sets a bit strictly ahead of the scan cursor
+//     (waiters are younger than their producers), and the scan re-reads
+//     the current word after every issue, which is where the polling
+//     walk would have encountered the waiter too (IQ order is uSeq
+//     order).
+//   - A waiter can never be stranded: an unbounded obstacle's producer
+//     either issues (and broadcasts) or is squashed — and a squashed
+//     producer implies the waiter is squashed too (sources, flag
+//     producers and memory dependences all point strictly backward in
+//     program order), with flush unlinking every squashed waiter.
+//
+// DisableWakeupScoreboard selects the polling loop; both structures are
+// maintained exclusively (useSB is fixed at construction).
+
+// Scheduler-entry states (schedState, per ROB slot).
+const (
+	sNone    uint8 = iota // not in the scheduler
+	sWaiting              // linked on a producer's waiter list
+	sReady                // readyMask bit set, with a concrete wake bound
+	sWheel                // parked in the wake wheel until its bound arrives
+)
+
+// wheelSpan is the wake wheel's horizon in cycles (a power of two). An
+// entry whose concrete bound lies within (cycle, cycle+wheelSpan) parks
+// in the slot its bound indexes and enters readyMask only when that
+// cycle arrives, so sbIssue never rescans maturing entries. The rare
+// farther bound (a deep memory miss) falls back to entering readyMask
+// immediately with its future schedWake — exactly the pre-wheel
+// behavior, still exact, just rescanned per cycle until it matures.
+const wheelSpan = 1024
+
+// Waiter-list kinds (waitKind, per ROB slot): which head the entry is
+// linked under, so flush can unlink squashed waiters.
+const (
+	wkInt  uint8 = iota // intWaitHead[waitKey]
+	wkFP                // fpWaitHead[waitKey]
+	wkSlot              // slotWaitHead[waitKey] (flag producer or pending store)
+)
+
+// schedEnqueue classifies a dispatched (or re-woken) µop against current
+// state: it registers on the first unbounded obstacle, in the same order
+// the polling srcsReady inspects them, or enters the ready set with the
+// max concrete bound.
+//
+//tvp:hotpath
+func (c *Core) schedEnqueue(idx int32) {
+	u := &c.rob[idx]
+	var bound uint64
+	for i := 0; i < int(u.nsrc); i++ {
+		s := u.srcs[i]
+		var r uint64
+		if s.fp {
+			r = c.fpReadyAt[s.name]
+		} else {
+			r = c.intReadyAt[s.name]
+		}
+		if r == neverReady {
+			if s.fp {
+				c.sbWait(idx, wkFP, int32(s.name), &c.fpWaitHead[s.name])
+			} else {
+				c.sbWait(idx, wkInt, int32(s.name), &c.intWaitHead[s.name])
+			}
+			return
+		}
+		if r > bound {
+			bound = r
+		}
+	}
+	if u.flagR && u.flagSrcIdx != noIdx && c.rob[u.flagSrcIdx].uSeq == u.flagSrcUSeq {
+		if fr := c.robReady[u.flagSrcIdx]; fr == neverReady {
+			c.sbWait(idx, wkSlot, u.flagSrcIdx, &c.slotWaitHead[u.flagSrcIdx])
+			return
+		} else if fr > bound {
+			bound = fr
+		}
+	}
+	if u.memDepSeq != 0 {
+		if si := c.pendingStoreIdx(u.memDepSeq - 1); si != noIdx {
+			c.sbWait(idx, wkSlot, si, &c.slotWaitHead[si])
+			return
+		}
+	}
+	c.schedWake[idx] = bound
+	if bound > c.cycle && bound-c.cycle < wheelSpan {
+		s := bound & (wheelSpan - 1)
+		c.schedState[idx] = sWheel
+		c.waitNext[idx] = c.wheelHead[s]
+		c.wheelHead[s] = idx
+		c.wheelBits[s>>6] |= 1 << (s & 63)
+		return
+	}
+	c.schedState[idx] = sReady
+	c.readyMask[idx>>6] |= 1 << (uint(idx) & 63)
+}
+
+// wheelAdvance matures the wake-wheel slot of the current cycle: every
+// parked entry whose bound is now due moves into the ready mask. Called
+// at the top of step — and again after a cycle-skip jump — so issue and
+// trySkip always see the exact ready set the pre-wheel scoreboard kept
+// eagerly. The common case (empty slot) is a single bit test.
+//
+//tvp:hotpath
+func (c *Core) wheelAdvance() {
+	s := c.cycle & (wheelSpan - 1)
+	if c.wheelBits[s>>6]&(1<<(s&63)) == 0 {
+		return
+	}
+	c.wheelBits[s>>6] &^= 1 << (s & 63)
+	n := c.wheelHead[s]
+	c.wheelHead[s] = noIdx
+	for n != noIdx {
+		c.schedState[n] = sReady
+		c.readyMask[n>>6] |= 1 << (uint(n) & 63)
+		n = c.waitNext[n]
+	}
+}
+
+// wheelUnlink removes a squashed sWheel entry from its wake-wheel slot
+// (found from its stored bound), clearing the slot's non-empty bit when
+// it drains — the wheel twin of sbUnlink.
+func (c *Core) wheelUnlink(idx int32) {
+	s := c.schedWake[idx] & (wheelSpan - 1)
+	head := &c.wheelHead[s]
+	if *head == idx {
+		*head = c.waitNext[idx]
+	} else {
+		for n := *head; n != noIdx; n = c.waitNext[n] {
+			if c.waitNext[n] == idx {
+				c.waitNext[n] = c.waitNext[idx]
+				break
+			}
+		}
+	}
+	if *head == noIdx {
+		c.wheelBits[s>>6] &^= 1 << (s & 63)
+	}
+}
+
+// sbWait links a µop onto a producer's waiter list.
+//
+//tvp:hotpath
+func (c *Core) sbWait(idx int32, kind uint8, key int32, head *int32) {
+	c.schedState[idx] = sWaiting
+	c.waitKind[idx] = kind
+	c.waitKey[idx] = key
+	c.waitNext[idx] = *head
+	*head = idx
+}
+
+// pendingStoreIdx returns the ROB slot of the store with the given dynamic
+// sequence number if it is still in the store queue without having
+// generated its address, noIdx otherwise (the index-returning twin of
+// storePending, so the waiter can register on the store's slot).
+//
+//tvp:hotpath
+func (c *Core) pendingStoreIdx(seq uint64) int32 {
+	for _, si := range c.sq.live() {
+		s := &c.rob[si]
+		if s.seq == seq {
+			if s.executedMem {
+				return noIdx
+			}
+			return si
+		}
+		if s.seq > seq {
+			return noIdx
+		}
+	}
+	return noIdx
+}
+
+// wakeList drains a waiter list: the head is detached first (a
+// reclassified waiter may immediately re-register on a different list,
+// or — after a store wake — back onto a later pending store's list), then
+// every entry is re-run through schedEnqueue.
+//
+//tvp:hotpath
+func (c *Core) wakeList(head *int32) {
+	n := *head
+	*head = noIdx
+	for n != noIdx {
+		next := c.waitNext[n]
+		c.schedState[n] = sNone
+		c.schedEnqueue(n)
+		n = next
+	}
+}
+
+// sbUnlink removes a squashed sWaiting entry from its waiter list (flush
+// path: explicit unlinking keeps every list valid for slot reuse; lazy
+// cleanup would let a stale link alias a recycled slot).
+func (c *Core) sbUnlink(idx int32) {
+	var head *int32
+	switch c.waitKind[idx] {
+	case wkInt:
+		head = &c.intWaitHead[c.waitKey[idx]]
+	case wkFP:
+		head = &c.fpWaitHead[c.waitKey[idx]]
+	default:
+		head = &c.slotWaitHead[c.waitKey[idx]]
+	}
+	n := *head
+	if n == idx {
+		*head = c.waitNext[idx]
+		return
+	}
+	for n != noIdx {
+		if c.waitNext[n] == idx {
+			c.waitNext[n] = c.waitNext[idx]
+			return
+		}
+		n = c.waitNext[n]
+	}
+}
+
+// sbIssue is the scoreboard's issue stage: scan only the ready set,
+// oldest first. Under GVP (sbRecheck) readiness is re-checked with the
+// polling predicate before committing to an issue: a wide-prediction
+// repair can raise a readyAt while the entry sat FU-blocked, making the
+// cached bound stale, and srcsReady sends such an entry back through
+// schedEnqueue. Under every other mode a concrete ready time is written
+// exactly once, so a bound that has arrived (schedWake <= cycle) implies
+// srcsReady — the re-check is provably a no-op and is skipped.
+//
+// The scan walks readyMask in ring order: word hw (bits >= robHead's
+// bit), the following words, then back around to word hw's low bits.
+// Ring order from robHead is dispatch order (ROB slots are allocated in
+// uSeq order), so the candidate sequence is oldest-first. After every
+// mutation the current word is re-read: a same-cycle wake sets a bit
+// strictly ahead of the cursor, and the done mask keeps already-visited
+// bits (issued, FU-blocked, or reclassified with a raised bound) from
+// being revisited this cycle — exactly the polling walk's forward scan.
+//
+//tvp:hotpath
+func (c *Core) sbIssue() {
+	c.fuInit()
+	width := c.cfg.IssueWidth
+	nw := len(c.readyMask)
+	hw := c.robHead >> 6
+	hb := uint(c.robHead & 63)
+	for k := 0; k <= nw && width > 0; k++ {
+		w := hw + k
+		if w >= nw {
+			w -= nw
+		}
+		window := ^uint64(0)
+		if k == 0 {
+			window <<= hb
+		} else if k == nw {
+			window = 1<<hb - 1
+		}
+		var done uint64
+		for width > 0 {
+			pend := c.readyMask[w] & window &^ done
+			if pend == 0 {
+				break
+			}
+			b := pend & -pend
+			done |= b
+			idx := int32(w<<6 + bits.TrailingZeros64(b))
+			if c.schedWake[idx] > c.cycle {
+				continue
+			}
+			u := &c.rob[idx]
+			if c.sbRecheck {
+				if ready, _ := c.srcsReady(u); !ready {
+					// Reclassify: either a fresh unbounded obstacle (leaves
+					// the ready set) or a raised bound (re-enters with
+					// schedWake > cycle; the done mask moves the scan past it).
+					c.readyMask[w] &^= b
+					c.schedState[idx] = sNone
+					c.schedEnqueue(idx)
+					continue
+				}
+			}
+			fu := c.allocFU(u.class)
+			if fu < 0 {
+				continue
+			}
+			c.readyMask[w] &^= b
+			c.schedState[idx] = sNone
+			c.iqCnt--
+			width--
+			c.fus.usedMask |= 1 << uint(fu)
+			c.doIssue(u, fu)
+			if c.flushedThisCycle {
+				return
+			}
+		}
+	}
+}

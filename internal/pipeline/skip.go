@@ -1,5 +1,7 @@
 package pipeline
 
+import "math/bits"
+
 // Event-driven cycle skipping.
 //
 // The simulator spends a large fraction of its wall time ticking cycles
@@ -73,7 +75,7 @@ func (c *Core) trySkip() {
 		e := f.fetchCycle + uint64(c.cfg.FetchToDecode)
 		if e <= n {
 			cnt := 1
-			if c.crack[f.dyn.Index].two {
+			if c.crack[f.sIdx].two {
 				cnt = 2
 			}
 			if c.decodeQ.len()+cnt <= dqCap {
@@ -119,7 +121,7 @@ func (c *Core) trySkip() {
 			switch {
 			case u.state == stDone:
 				return // eliminated µop: dispatch advances past it
-			case len(c.iq) >= c.cfg.IQSize:
+			case c.iqCount() >= c.cfg.IQSize:
 				dispBlock = dispIQ
 			case u.isLoad && c.lq.len() >= c.cfg.LQSize:
 				dispBlock = dispLQ
@@ -160,6 +162,38 @@ func (c *Core) trySkip() {
 	// Issue: earliest cycle any IQ entry's sources can all be ready
 	// under current state. neverReady sources and unexecuted-store
 	// dependences resolve only through another µop's wake event.
+	//
+	// Under the wakeup scoreboard the sWaiting entries are exactly the
+	// no-contribution cases of the polling walk below (an unbounded
+	// obstacle anchors them to a producer's own wake event), so only the
+	// readyMask bits are inspected — against the cached schedWake bounds
+	// (order is irrelevant for a minimum, so this walks the words flat).
+	// A cached bound is a lower bound on the fresh recomputation (ready
+	// times only increase), so the scoreboard can only under-skip, never
+	// over-skip: a cycle it declines to skip is ticked idly, with
+	// identical state mutations and identical delta-vs-tick stall/CPI
+	// crediting.
+	if c.useSB {
+		for wi, bm := range c.readyMask {
+			for bm != 0 {
+				i := int32(wi<<6 + bits.TrailingZeros64(bm))
+				bm &= bm - 1
+				e := c.schedWake[i]
+				if e <= n {
+					return
+				}
+				if e < w {
+					w = e
+				}
+			}
+		}
+		// Entries maturing inside the wake wheel anchor the jump to the
+		// earliest non-empty slot (always strictly future: the current
+		// cycle's slot was drained by wheelAdvance before trySkip ran).
+		if e := c.wheelNext(); e < w {
+			w = e
+		}
+	}
 	for _, i := range c.iq {
 		u := &c.rob[i]
 		if u.memDepSeq != 0 && c.storePending(u.memDepSeq-1) {
@@ -234,4 +268,34 @@ func (c *Core) trySkip() {
 	case dispSQ:
 		c.st.SQFullStalls += delta
 	}
+}
+
+// wheelNext returns the earliest cycle any wake-wheel entry matures, or
+// neverReady when the wheel is empty. Every parked bound lies strictly
+// within (cycle, cycle+wheelSpan) — the insert condition, plus the
+// current slot being drained before trySkip runs — so the first set
+// slot bit at or after the next cycle's position maps back to a unique
+// absolute cycle.
+func (c *Core) wheelNext() uint64 {
+	start := (c.cycle + 1) & (wheelSpan - 1)
+	nw := len(c.wheelBits)
+	hw := int(start >> 6)
+	hb := uint(start & 63)
+	for k := 0; k <= nw; k++ {
+		w := hw + k
+		if w >= nw {
+			w -= nw
+		}
+		bm := c.wheelBits[w]
+		if k == 0 {
+			bm &= ^uint64(0) << hb
+		} else if k == nw {
+			bm &= 1<<hb - 1
+		}
+		if bm != 0 {
+			s := uint64(w<<6 + bits.TrailingZeros64(bm))
+			return c.cycle + 1 + ((s - start) & (wheelSpan - 1))
+		}
+	}
+	return neverReady
 }

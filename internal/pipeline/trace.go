@@ -84,8 +84,8 @@ func (c *Core) traceEvent(u *uop, s Stage) {
 		Seq:        u.seq,
 		UopIx:      ix,
 		Stage:      s,
-		PC:         u.dyn.PC,
-		Inst:       u.dyn.Inst,
+		PC:         c.crack[u.sIdx].pc,
+		Inst:       c.instOf(u),
 		Eliminated: u.eliminated,
 	})
 }

@@ -15,7 +15,6 @@
 package pipeline
 
 import (
-	"repro/internal/emu"
 	"repro/internal/isa"
 	"repro/internal/rename"
 )
@@ -50,14 +49,21 @@ const noIdx int32 = -1
 // backend scans walk a dense int32 array and the ROB itself instead of
 // chasing heap pointers, and the entries carry no GC write barriers.
 //
-// The struct is deliberately compact (fat rename/VP metadata lives in the
-// predRing keyed by seq): renameUop rewrites a whole entry per µop, so
-// every byte here is a byte of duffcopy on the hottest path in the
-// simulator.
+// The struct is deliberately pointer-free (enforced by the tvplint
+// hotstruct check): dynamic-record state is reached through the stream
+// arena by sequence number (Core.dynAt) and static-instruction state
+// through sIdx into the program text / crack tables, so the ROB ring is
+// invisible to the garbage collector — rewriting an entry at rename
+// carries no write barriers and the GC never scans the ring.
+//
+// The struct is also deliberately compact (fat rename/VP metadata lives
+// in the predRing keyed by seq): renameUop rewrites a whole entry per
+// µop, so every byte here is a byte of duffcopy on the hottest path in
+// the simulator.
+//
+//tvp:hotstruct
 type uop struct {
-	dyn *emu.DynInst
-
-	seq         uint64 // architectural dynamic sequence number (dyn.Seq)
+	seq         uint64 // architectural dynamic sequence number (DynInst.Seq)
 	uSeq        uint64 // unique µop sequence for flag dependences and ordering
 	renameCycle uint64
 	// The result-ready cycle lives in Core.robReady (struct-of-arrays,
@@ -74,6 +80,7 @@ type uop struct {
 
 	robIdx     int32 // this µop's own ROB slot
 	flagSrcIdx int32 // ROB slot of the in-flight flag producer; noIdx = none
+	sIdx       int32 // static instruction index (DynInst.Index) into text/crack
 
 	dst     rename.Name
 	kind    isa.UOpKind
@@ -127,9 +134,8 @@ type uop struct {
 // add a field without resetting it and the test fails).
 //
 //tvp:hotpath
-func (u *uop) reset(dyn *emu.DynInst, kind isa.UOpKind, class isa.Class, last bool, uSeq, cycle uint64, idx int32) {
-	u.dyn = dyn
-	u.seq = dyn.Seq
+func (u *uop) reset(seq uint64, sIdx int32, kind isa.UOpKind, class isa.Class, last bool, uSeq, cycle uint64, idx int32) {
+	u.seq = seq
 	u.uSeq = uSeq
 	u.renameCycle = cycle
 	u.ea = 0
@@ -138,6 +144,7 @@ func (u *uop) reset(dyn *emu.DynInst, kind isa.UOpKind, class isa.Class, last bo
 	u.srcs = [4]srcOperand{}
 	u.robIdx = idx
 	u.flagSrcIdx = noIdx
+	u.sIdx = sIdx
 	u.dst = 0
 	u.kind = kind
 	u.class = class

@@ -5,26 +5,27 @@ import (
 	"testing"
 	"unsafe"
 
-	"repro/internal/emu"
 	"repro/internal/isa"
 )
 
 // fillNonzero sets every field of the struct (recursing through nested
 // structs and arrays) to a value that differs from the Go zero value,
-// using unsafe addressing since the fields are unexported.
-func fillNonzero(v reflect.Value, ptr unsafe.Pointer, dyn *emu.DynInst) {
+// using unsafe addressing since the fields are unexported. Pointer kinds
+// are rejected: uop is deliberately pointer-free (tvplint hotstruct), so
+// a pointer field appearing is itself a regression.
+func fillNonzero(v reflect.Value, ptr unsafe.Pointer) {
 	switch v.Kind() {
 	case reflect.Struct:
 		for i := 0; i < v.NumField(); i++ {
 			f := v.Field(i)
 			fp := unsafe.Pointer(uintptr(ptr) + v.Type().Field(i).Offset)
-			fillNonzero(reflect.NewAt(f.Type(), fp).Elem(), fp, dyn)
+			fillNonzero(reflect.NewAt(f.Type(), fp).Elem(), fp)
 		}
 	case reflect.Array:
 		es := v.Type().Elem().Size()
 		for i := 0; i < v.Len(); i++ {
 			ep := unsafe.Pointer(uintptr(ptr) + uintptr(i)*es)
-			fillNonzero(reflect.NewAt(v.Type().Elem(), ep).Elem(), ep, dyn)
+			fillNonzero(reflect.NewAt(v.Type().Elem(), ep).Elem(), ep)
 		}
 	case reflect.Bool:
 		v.SetBool(true)
@@ -32,8 +33,6 @@ func fillNonzero(v reflect.Value, ptr unsafe.Pointer, dyn *emu.DynInst) {
 		v.SetInt(3)
 	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
 		v.SetUint(3)
-	case reflect.Ptr:
-		v.Set(reflect.ValueOf(dyn))
 	default:
 		panic("uop gained a field kind fillNonzero does not handle: " + v.Kind().String())
 	}
@@ -47,16 +46,13 @@ func fillNonzero(v reflect.Value, ptr unsafe.Pointer, dyn *emu.DynInst) {
 // without extending reset is caught here, not as stale-state corruption
 // deep in a simulation.
 func TestUopResetCoversAllFields(t *testing.T) {
-	dynFill := &emu.DynInst{Seq: 11}
-	dynArg := &emu.DynInst{Seq: 21}
-
 	dirty := new(uop)
 	fillNonzero(reflect.NewAt(reflect.TypeOf(*dirty), unsafe.Pointer(dirty)).Elem(),
-		unsafe.Pointer(dirty), dynFill)
-	dirty.reset(dynArg, isa.UOpKind(2), isa.Class(1), true, 7, 9, 5)
+		unsafe.Pointer(dirty))
+	dirty.reset(21, 4, isa.UOpKind(2), isa.Class(1), true, 7, 9, 5)
 
 	clean := new(uop)
-	clean.reset(dynArg, isa.UOpKind(2), isa.Class(1), true, 7, 9, 5)
+	clean.reset(21, 4, isa.UOpKind(2), isa.Class(1), true, 7, 9, 5)
 
 	if *dirty != *clean {
 		dv := reflect.NewAt(reflect.TypeOf(*dirty), unsafe.Pointer(dirty)).Elem()
@@ -67,5 +63,45 @@ func TestUopResetCoversAllFields(t *testing.T) {
 					dv.Type().Field(i).Name, dv.Field(i), cv.Field(i))
 			}
 		}
+	}
+}
+
+// TestUopIsPointerFree pins the arena property the hotstruct annotation
+// claims: the ROB ring, the frontend queues and the crack table must stay
+// invisible to the garbage collector (no pointer-bearing fields), so
+// rewriting entries on the rename path carries no write barriers.
+func TestUopIsPointerFree(t *testing.T) {
+	for _, typ := range []reflect.Type{
+		reflect.TypeOf(uop{}),
+		reflect.TypeOf(fqEntry{}),
+		reflect.TypeOf(dqEntry{}),
+		reflect.TypeOf(crackStatic{}),
+	} {
+		// reflect exposes the runtime's own pointer map: a type contains
+		// no pointers iff the GC never scans it.
+		if typ.Comparable() == false || containsPointers(typ) {
+			t.Errorf("%s contains pointer-bearing fields; the arena must stay GC-invisible", typ.Name())
+		}
+	}
+}
+
+func containsPointers(typ reflect.Type) bool {
+	switch typ.Kind() {
+	case reflect.Struct:
+		for i := 0; i < typ.NumField(); i++ {
+			if containsPointers(typ.Field(i).Type) {
+				return true
+			}
+		}
+		return false
+	case reflect.Array:
+		return containsPointers(typ.Elem())
+	case reflect.Bool,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+		reflect.Float32, reflect.Float64, reflect.Complex64, reflect.Complex128:
+		return false
+	default:
+		return true
 	}
 }

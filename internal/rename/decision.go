@@ -109,14 +109,14 @@ type Engine struct {
 	Inline bool
 }
 
-func known0(o Operand) bool { return o.Known && o.Value == 0 }
-func known1(o Operand) bool { return o.Known && o.Value == 1 }
+func known0(o *Operand) bool { return o.Known && o.Value == 0 }
+func known1(o *Operand) bool { return o.Known && o.Value == 1 }
 
 // moveOK applies the paper's width rule (§5): a 64-bit register may not be
 // moved into a 32-bit register unless its value is known to have zero
 // upper bits (§6.2: possible "if the 64-bit register is predicted or
 // 9-bit-signed-idiom eliminated ... when the value is not sign-extended").
-func moveOK(src Operand, w bool) bool {
+func moveOK(src *Operand, w bool) bool {
 	if !w {
 		return true
 	}
@@ -151,7 +151,7 @@ func (e *Engine) valueKind(v int64) (Kind, bool) {
 // The boolean moveBlocked output reports a baseline move idiom that could
 // not be eliminated due to the 64→32-bit width rule (the paper's "Non ME
 // move" category in Fig. 4).
-func (e *Engine) Decide(in *isa.Inst, srcN, srcM Operand, nzcv isa.Flags, nzcvSpec, nzcvKnown bool) (d Decision, moveBlocked bool) {
+func (e *Engine) Decide(in *isa.Inst, srcN, srcM *Operand, nzcv isa.Flags, nzcvSpec, nzcvKnown bool) (d Decision, moveBlocked bool) {
 	// ---- Baseline DSR: zero/one idioms (§5) ----
 	if e.ZeroOneIdiom {
 		switch in.Op {
@@ -175,19 +175,18 @@ func (e *Engine) Decide(in *isa.Inst, srcN, srcM Operand, nzcv isa.Flags, nzcvSp
 
 	// ---- Baseline DSR: move elimination (§5) ----
 	if e.MoveElim && !in.UseImm {
-		var src Operand
-		isMove := false
+		var src *Operand
 		switch in.Op {
 		case isa.ADD, isa.ORR, isa.EOR:
 			if in.Rn == isa.XZR && in.Rm != isa.XZR {
-				src, isMove = srcM, true
+				src = srcM
 			} else if in.Rm == isa.XZR && in.Rn != isa.XZR {
-				src, isMove = srcN, true
+				src = srcN
 			}
 		}
-		if isMove {
+		if src != nil {
 			if moveOK(src, in.W) {
-				return Decision{Kind: KindMove, Origin: OriginMove, MoveOp: src, Spec: src.Spec}, false
+				return Decision{Kind: KindMove, Origin: OriginMove, MoveOp: *src, Spec: src.Spec}, false
 			}
 			moveBlocked = true
 		}
@@ -223,15 +222,15 @@ func (e *Engine) Decide(in *isa.Inst, srcN, srcM Operand, nzcv isa.Flags, nzcvSp
 }
 
 // table1 implements every idiom row of the paper's Table 1.
-func (e *Engine) table1(in *isa.Inst, srcN, srcM Operand, nzcv isa.Flags, nzcvSpec, nzcvKnown bool) (Decision, bool) {
+func (e *Engine) table1(in *isa.Inst, srcN, srcM *Operand, nzcv isa.Flags, nzcvSpec, nzcvKnown bool) (Decision, bool) {
 	spec2 := srcN.Spec || srcM.Spec
 	specN := srcN.Spec
 
-	move := func(src Operand, spec bool) (Decision, bool) {
+	move := func(src *Operand, spec bool) (Decision, bool) {
 		if !moveOK(src, in.W) {
 			return Decision{}, false
 		}
-		return Decision{Kind: KindMove, Origin: OriginSpSR, MoveOp: src, Spec: spec}, true
+		return Decision{Kind: KindMove, Origin: OriginSpSR, MoveOp: *src, Spec: spec}, true
 	}
 	value := func(v int64, spec bool) (Decision, bool) {
 		if k, ok := e.valueKind(v); ok {

@@ -10,6 +10,8 @@ func eng(spsr, inline bool) Engine {
 	return Engine{ZeroOneIdiom: true, MoveElim: true, NineBit: inline, SpSR: spsr, Inline: inline}
 }
 
+func ptr(o Operand) *Operand { return &o }
+
 func known(v int64) Operand {
 	if v == 0 {
 		return Operand{Name: HardZero, Known: true, Value: 0}
@@ -31,7 +33,7 @@ var physN = Operand{Name: 51, Wide: false}
 
 func decide(t *testing.T, e Engine, in isa.Inst, srcN, srcM Operand) Decision {
 	t.Helper()
-	d, _ := e.Decide(&in, srcN, srcM, 0, false, false)
+	d, _ := e.Decide(&in, &srcN, &srcM, 0, false, false)
 	return d
 }
 
@@ -85,22 +87,22 @@ func TestMoveWidthRule(t *testing.T) {
 	e := eng(false, false)
 	// 32-bit move of a 64-bit-defined source: blocked (§5).
 	in := isa.Inst{Op: isa.ORR, Rd: isa.X1, Rn: isa.XZR, Rm: isa.X2, W: true}
-	d, blocked := e.Decide(&in, Operand{Name: HardZero, Known: true}, physW, 0, false, false)
+	d, blocked := e.Decide(&in, &Operand{Name: HardZero, Known: true}, &physW, 0, false, false)
 	if d.Kind != KindNone || !blocked {
 		t.Errorf("wide source into w-dest must be blocked: %v blocked=%v", d.Kind, blocked)
 	}
 	// Same with a 32-bit-defined source: allowed.
-	d2, _ := e.Decide(&in, Operand{Name: HardZero, Known: true}, physN, 0, false, false)
+	d2, _ := e.Decide(&in, &Operand{Name: HardZero, Known: true}, &physN, 0, false, false)
 	if d2.Kind != KindMove {
 		t.Errorf("narrow source into w-dest must move-eliminate: %v", d2.Kind)
 	}
 	// A known non-negative small value: allowed even though "wide" (§6.2).
-	d3, _ := e.Decide(&in, Operand{Name: HardZero, Known: true}, known(200), 0, false, false)
+	d3, _ := e.Decide(&in, &Operand{Name: HardZero, Known: true}, ptr(known(200)), 0, false, false)
 	if d3.Kind != KindMove {
 		t.Errorf("known small value into w-dest must move-eliminate: %v", d3.Kind)
 	}
 	// A known negative value sign-extends: blocked.
-	d4, blocked4 := e.Decide(&in, Operand{Name: HardZero, Known: true}, known(-5), 0, false, false)
+	d4, blocked4 := e.Decide(&in, &Operand{Name: HardZero, Known: true}, ptr(known(-5)), 0, false, false)
 	if d4.Kind == KindMove || !blocked4 {
 		t.Error("negative inlined value into w-dest must be blocked")
 	}
@@ -214,11 +216,11 @@ func TestSpSRBranches(t *testing.T) {
 	}
 	// b.cond with unknown NZCV does not resolve.
 	bc := isa.Inst{Op: isa.BCOND, Cond: isa.EQ}
-	if d, _ := e.Decide(&bc, physW, physW, 0, false, false); d.Kind != KindNone {
+	if d, _ := e.Decide(&bc, &physW, &physW, 0, false, false); d.Kind != KindNone {
 		t.Error("b.cond must not resolve without frontend NZCV")
 	}
 	// With known NZCV it does.
-	if d, _ := e.Decide(&bc, physW, physW, isa.FlagZ, true, true); d.Kind != KindBranch || !d.Taken {
+	if d, _ := e.Decide(&bc, &physW, &physW, isa.FlagZ, true, true); d.Kind != KindBranch || !d.Taken {
 		t.Error("b.eq with Z=1 must resolve taken")
 	}
 }
@@ -226,19 +228,19 @@ func TestSpSRBranches(t *testing.T) {
 func TestSpSRCondSelects(t *testing.T) {
 	e := eng(true, true)
 	csel := isa.Inst{Op: isa.CSEL, Rd: isa.X1, Rn: isa.X2, Rm: isa.X3, Cond: isa.EQ}
-	d, _ := e.Decide(&csel, physW, physN, isa.FlagZ, false, true)
+	d, _ := e.Decide(&csel, &physW, &physN, isa.FlagZ, false, true)
 	if d.Kind != KindMove || d.MoveOp.Name != physW.Name {
 		t.Errorf("csel eq with Z=1: %v src=%v", d.Kind, d.MoveOp.Name)
 	}
 	// csinc with cond false and known Rm: value Rm+1.
 	csinc := isa.Inst{Op: isa.CSINC, Rd: isa.X1, Rn: isa.X2, Rm: isa.XZR, Cond: isa.NE}
-	d2, _ := e.Decide(&csinc, physW, Operand{Name: HardZero, Known: true}, isa.FlagZ, false, true)
+	d2, _ := e.Decide(&csinc, &physW, &Operand{Name: HardZero, Known: true}, isa.FlagZ, false, true)
 	if d2.Kind != KindOne {
 		t.Errorf("cset-like csinc with Z=1: %v", d2.Kind)
 	}
 	// csneg cond false with known Rm=1 → -1 (TVP value).
 	csneg := isa.Inst{Op: isa.CSNEG, Rd: isa.X1, Rn: isa.X2, Rm: isa.X3, Cond: isa.NE}
-	d3, _ := e.Decide(&csneg, physW, known(1), isa.FlagZ, false, true)
+	d3, _ := e.Decide(&csneg, &physW, ptr(known(1)), isa.FlagZ, false, true)
 	if d3.Kind != KindValue || d3.Value != -1 {
 		t.Errorf("csneg false-arm: %v %d", d3.Kind, d3.Value)
 	}

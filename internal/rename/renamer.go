@@ -44,10 +44,12 @@ type Renamer struct {
 	fpRAT  [32]Name
 	fpCRAT [32]Name
 
-	freeInt []Name
-	freeFP  []Name
-	rc      []int32 // reference counts, indexed by physical name
-	fpRC    []int32
+	freeInt  []Name // fixed backing store; the live stack is freeInt[:nFreeInt]
+	freeFP   []Name
+	nFreeInt int
+	nFreeFP  int
+	rc       []int32 // reference counts, indexed by physical name
+	fpRC     []int32
 
 	nPhysInt, nPhysFP int
 
@@ -81,46 +83,65 @@ func NewRenamer(nPhysInt, nPhysFP int) *Renamer {
 	}
 	r.rat[isa.XZR] = mapping{name: HardZero, wide: true}
 	r.crat[isa.XZR] = r.rat[isa.XZR]
+	r.freeInt = make([]Name, nPhysInt)
 	for p := int(next); p < nPhysInt; p++ {
-		r.freeInt = append(r.freeInt, Name(p))
+		r.freeInt[r.nFreeInt] = Name(p)
+		r.nFreeInt++
 	}
 	for a := 0; a < 32; a++ {
 		r.fpRAT[a] = Name(a)
 		r.fpCRAT[a] = Name(a)
 		r.fpRC[a] = 1
 	}
+	r.freeFP = make([]Name, nPhysFP)
 	for p := 32; p < nPhysFP; p++ {
-		r.freeFP = append(r.freeFP, Name(p))
+		r.freeFP[r.nFreeFP] = Name(p)
+		r.nFreeFP++
 	}
 	return r
 }
 
 // FreeInt returns the number of free integer physical registers.
-func (r *Renamer) FreeInt() int { return len(r.freeInt) }
+func (r *Renamer) FreeInt() int { return r.nFreeInt }
 
 // FreeFP returns the number of free FP physical registers.
-func (r *Renamer) FreeFP() int { return len(r.freeFP) }
+func (r *Renamer) FreeFP() int { return r.nFreeFP }
 
 // SrcInt renames an integer source operand. The value extraction is
 // open-coded rather than going through Name.Known/Name.Value: the RAT
 // never holds Invalid, so ValueBit alone identifies an inlined value and
 // names <= HardOne are the hardwired constants — and dropping the panic
 // path keeps SrcInt within the inlining budget of its rename-stage
-// callers (two calls per µop).
+// callers (two calls per µop). XZR needs no special case: rat[XZR] is
+// initialized to HardZero and every Def* path ignores XZR writes, so the
+// table lookup itself yields {HardZero, known 0, wide}. The &31 mask
+// encodes the NumRegs == 32 bound (checked at encode time) so the lookup
+// compiles without a bounds check.
 func (r *Renamer) SrcInt(reg isa.Reg) Operand {
-	if reg == isa.XZR {
-		return Operand{Name: HardZero, Known: true, Value: 0, Wide: true}
-	}
-	m := r.rat[reg]
-	op := Operand{Name: m.name, Wide: m.wide, Spec: m.spec}
-	if m.name&ValueBit != 0 {
-		op.Known = true
-		op.Value = int64(int16(m.name<<7)) >> 7 // sign-extend the low 9 bits
-	} else if m.name <= HardOne {
-		op.Known = true
-		op.Value = int64(m.name)
-	}
-	return op
+	var o Operand
+	r.SrcIntInto(&o, reg)
+	return o
+}
+
+// SrcIntInto is SrcInt writing through an out pointer. The rename stage
+// keeps its two source Operands on its own frame and passes them by
+// pointer from here on; materializing the 24-byte struct exactly once
+// avoids the build-then-copy the by-value form compiles to, whose
+// narrow stores followed by wide copy loads defeat store-to-load
+// forwarding in the hottest path of the whole simulator.
+func (r *Renamer) SrcIntInto(o *Operand, reg isa.Reg) {
+	m := r.rat[reg&31]
+	// Branchless: the 9-bit sign-extension that decodes value names also
+	// yields the hardwired constants (names 0 and 1 sign-extend to values
+	// 0 and 1), so one expression covers every Known case and the two
+	// data-dependent branches of the obvious formulation — unpredictable
+	// on reduction-heavy code — disappear. Value is contractually valid
+	// only when Known; for plain physical names it holds decoded garbage.
+	o.Name = m.name
+	o.Known = m.name&ValueBit != 0 || m.name <= HardOne
+	o.Value = int64(int16(m.name<<7)) >> 7 // sign-extend the low 9 bits
+	o.Wide = m.wide
+	o.Spec = m.spec
 }
 
 // SrcFP renames an FP source operand.
@@ -129,11 +150,11 @@ func (r *Renamer) SrcFP(reg isa.Reg) Name { return r.fpRAT[reg&31] }
 // AllocInt pops a free integer physical register (reference count 1).
 // Callers must check FreeInt first; it panics when empty.
 func (r *Renamer) AllocInt() Name {
-	if len(r.freeInt) == 0 {
+	if r.nFreeInt == 0 {
 		panic("rename: integer free list empty")
 	}
-	n := r.freeInt[len(r.freeInt)-1]
-	r.freeInt = r.freeInt[:len(r.freeInt)-1]
+	r.nFreeInt--
+	n := r.freeInt[r.nFreeInt]
 	if r.rc[n] != 0 {
 		panic(fmt.Sprintf("rename: allocating live register %v (rc=%d)", n, r.rc[n]))
 	}
@@ -143,11 +164,11 @@ func (r *Renamer) AllocInt() Name {
 
 // AllocFP pops a free FP physical register.
 func (r *Renamer) AllocFP() Name {
-	if len(r.freeFP) == 0 {
+	if r.nFreeFP == 0 {
 		panic("rename: FP free list empty")
 	}
-	n := r.freeFP[len(r.freeFP)-1]
-	r.freeFP = r.freeFP[:len(r.freeFP)-1]
+	r.nFreeFP--
+	n := r.freeFP[r.nFreeFP]
 	if r.fpRC[n] != 0 {
 		panic(fmt.Sprintf("rename: allocating live FP register %v", n))
 	}
@@ -194,7 +215,8 @@ func (r *Renamer) Release(n Name) {
 	r.rc[n]--
 	switch {
 	case r.rc[n] == 0:
-		r.freeInt = append(r.freeInt, n)
+		r.freeInt[r.nFreeInt] = n
+		r.nFreeInt++
 	case r.rc[n] < 0:
 		panic(fmt.Sprintf("rename: double release of %v", n))
 	}
@@ -208,7 +230,8 @@ func (r *Renamer) ReleaseFP(n Name) {
 	r.fpRC[n]--
 	switch {
 	case r.fpRC[n] == 0:
-		r.freeFP = append(r.freeFP, n)
+		r.freeFP[r.nFreeFP] = n
+		r.nFreeFP++
 	case r.fpRC[n] < 0:
 		panic(fmt.Sprintf("rename: double release of FP %v", n))
 	}

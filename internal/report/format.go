@@ -196,7 +196,7 @@ func Table1() []Table1Case {
 	}
 	out := make([]Table1Case, 0, len(cases))
 	for _, t := range cases {
-		d, _ := e.Decide(&t.in, t.srcN, t.srcM, t.nz, true, t.nzKnown)
+		d, _ := e.Decide(&t.in, &t.srcN, &t.srcM, t.nz, true, t.nzKnown)
 		red := d.Kind.String()
 		if d.SetsNZCV {
 			red += "+NZCV"

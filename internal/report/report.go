@@ -162,8 +162,69 @@ func RunCacheCounters() (hits, misses uint64) { return runCache.Counters() }
 // ResetRunCache clears the process-wide run memoization (tests).
 func ResetRunCache() { runCache.Reset() }
 
-// simulate executes one timing run, uncached.
-func (c Config) simulate(s runSpec) (stats.Sim, error) {
+// traceShare carries one workload group's lazily recorded functional
+// instruction trace across the group's sequential runs: the functional
+// stream depends only on the program and starting state — never on the
+// machine configuration — so the N configurations a sweep schedules over
+// one workload replay a single recording instead of re-running the
+// emulator N times (the config-batched sweep seam). Access is sequential
+// within a group goroutine, so no locking is needed; the recording
+// happens lazily, on the first cache miss that actually simulates.
+type traceShare struct {
+	tr   *emu.Trace
+	err  error
+	done bool
+}
+
+// traceSlack is the extra record headroom beyond the committed
+// instruction budget: fetch runs ahead of commit by at most the in-flight
+// window (fetch/decode queues + ROB), far below the stream ring capacity,
+// so recording one ring's worth past the budget guarantees the replay
+// never runs off the end of a non-halted trace.
+const traceSlack = emu.DefaultStreamCapacity + 64
+
+// sharedTrace returns the group's recording, making it on first use.
+func (c Config) sharedTrace(w string, sh *traceShare) (*emu.Trace, error) {
+	if sh.done {
+		return sh.tr, sh.err
+	}
+	sh.done = true
+	if c.FastWarmup {
+		snap, err := workload.Checkpoint(w, c.Warmup)
+		if err != nil {
+			sh.err = err
+			return nil, err
+		}
+		sh.tr = emu.RecordTrace(snap.Restore(), c.Insts+traceSlack)
+		return sh.tr, nil
+	}
+	p, err := workload.Program(w)
+	if err != nil {
+		sh.err = err
+		return nil, err
+	}
+	sh.tr = emu.RecordTrace(emu.New(p), c.Warmup+c.Insts+traceSlack)
+	return sh.tr, nil
+}
+
+// simulate executes one timing run, uncached. With a trace share (the
+// batched sweep path) the core replays the group's shared functional
+// recording — bit-identical results to a live-emulator run
+// (TestBatchedSweepMatchesSerial), one functional execution per workload
+// instead of one per configuration. CrossCheck runs keep the live
+// emulator (the shadow oracle requires it).
+func (c Config) simulate(s runSpec, share *traceShare) (stats.Sim, error) {
+	if share != nil && !s.cfg.CrossCheck {
+		tr, err := c.sharedTrace(s.workload, share)
+		if err != nil {
+			return stats.Sim{}, err
+		}
+		warm := c.Warmup
+		if c.FastWarmup {
+			warm = 0
+		}
+		return pipeline.NewFromTrace(s.cfg, tr).Run(warm, c.Insts).Stats, nil
+	}
 	if c.FastWarmup {
 		snap, err := workload.Checkpoint(s.workload, c.Warmup)
 		if err != nil {
@@ -180,13 +241,13 @@ func (c Config) simulate(s runSpec) (stats.Sim, error) {
 
 // runOne executes (or recalls) one timing run through the memoization
 // layer, reporting to the optional telemetry sinks.
-func (c Config) runOne(s runSpec) (stats.Sim, error) {
+func (c Config) runOne(s runSpec, share *traceShare) (stats.Sim, error) {
 	observed := c.Heartbeat != nil || c.Obs != nil
 	var st stats.Sim
 	var err error
 	cached := false
 	if c.NoCache {
-		st, err = c.simulate(s)
+		st, err = c.simulate(s, share)
 	} else {
 		key := simcache.RunKey{
 			Workload:   s.workload,
@@ -200,7 +261,7 @@ func (c Config) runOne(s runSpec) (stats.Sim, error) {
 			// simulations; Do below still owns the singleflight semantics.
 			_, cached = runCache.Get(key)
 		}
-		st, err = runCache.Do(key, func() (stats.Sim, error) { return c.simulate(s) })
+		st, err = runCache.Do(key, func() (stats.Sim, error) { return c.simulate(s, share) })
 	}
 	if !observed || err != nil {
 		return st, err
@@ -230,7 +291,13 @@ func (c Config) runOne(s runSpec) (stats.Sim, error) {
 
 // runAll executes the specs on the sweep worker pool (Config.Workers
 // wide) and returns stats in spec order — slot-indexed writes keep the
-// output independent of completion order. Failures are collected (not
+// output independent of completion order and byte-identical to the
+// serial path. Specs are grouped by workload (order-preserving): each
+// group runs sequentially on one worker slot over a shared functional
+// trace recorded at most once (lazily, on the first cache miss), so a
+// sweep of N configurations over one workload pays for one emulator run
+// instead of N. Holding the slot for the whole group bounds live trace
+// memory to one recording per worker. Failures are collected (not
 // panicked) and reported together, each wrapped with its workload name.
 func (c Config) runAll(specs []runSpec) ([]stats.Sim, error) {
 	if c.Heartbeat != nil {
@@ -238,21 +305,33 @@ func (c Config) runAll(specs []runSpec) ([]stats.Sim, error) {
 	}
 	out := make([]stats.Sim, len(specs))
 	errs := make([]error, len(specs))
+	var order []string
+	groups := make(map[string][]int)
+	for i, s := range specs {
+		if _, ok := groups[s.workload]; !ok {
+			order = append(order, s.workload)
+		}
+		groups[s.workload] = append(groups[s.workload], i)
+	}
 	sem := make(chan struct{}, c.workers())
 	var wg sync.WaitGroup
-	for i := range specs {
+	for _, w := range order {
+		idxs := groups[w]
 		wg.Add(1)
-		go func(i int) {
+		go func(idxs []int) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			st, err := c.runOne(specs[i])
-			if err != nil {
-				errs[i] = fmt.Errorf("workload %s: %w", specs[i].workload, err)
-				return
+			var share traceShare
+			for _, i := range idxs {
+				st, err := c.runOne(specs[i], &share)
+				if err != nil {
+					errs[i] = fmt.Errorf("workload %s: %w", specs[i].workload, err)
+					continue
+				}
+				out[i] = st
 			}
-			out[i] = st
-		}(i)
+		}(idxs)
 	}
 	wg.Wait()
 	return out, errors.Join(errs...)
