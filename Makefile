@@ -8,6 +8,8 @@
 #   make bench-guard  # fail if hot-path allocations regress past baseline
 #   make fuzz-smoke   # short differential-fuzzing pass per native target
 #   make verify-suite # encode + statically verify every built-in workload
+#   make serve-smoke  # end-to-end tvpd daemon check: endpoints, SIGTERM
+#                     # drain, cross-process persistent store sharing
 #   make report       # regenerate the full EXPERIMENTS.md report
 
 GO ?= go
@@ -44,11 +46,11 @@ BENCH_GUARD_ALLOCS ?= 285
 BENCH_GUARD_MIPS ?= 3.10
 BENCH_GUARD_MIPS_LOWIPC ?= 1.70
 
-.PHONY: check vet lint build test race bench bench-guard fuzz-smoke verify-suite report
+.PHONY: check vet lint build test race bench bench-guard fuzz-smoke verify-suite serve-smoke report
 
 # lint runs before test so an invariant violation fails fast, before the
 # (much slower) full suite.
-check: vet lint build race test verify-suite fuzz-smoke bench-guard
+check: vet lint build race test verify-suite serve-smoke fuzz-smoke bench-guard
 
 vet:
 	$(GO) vet ./...
@@ -62,10 +64,11 @@ lint:
 build:
 	$(GO) build ./...
 
-# The run cache, the report fan-out, and the telemetry sampler are the
-# concurrency hot spots: keep them race-clean at the short test length.
+# The run cache, the report fan-out, the telemetry sampler, and the
+# daemon's two-tier store are the concurrency hot spots: keep them
+# race-clean at the short test length.
 race:
-	$(GO) test -race ./internal/simcache ./internal/report ./internal/obs
+	$(GO) test -race ./internal/simcache ./internal/report ./internal/obs ./internal/serve ./internal/store
 
 test:
 	$(GO) test ./...
@@ -114,6 +117,16 @@ fuzz-smoke:
 # generator bit-for-bit (see internal/workload/ingest_test.go).
 verify-suite:
 	$(GO) test ./internal/workload -run='^(TestEncodedSuiteVerifies|TestPromotedCorpusBitExact)$$' -count=1
+
+# Daemon smoke: build the real tvpd binary, start it on a free port,
+# exercise run/sweep/status (with a retry/timeout handshake on stderr's
+# readiness line), assert graceful SIGTERM drain, and prove the
+# persistent store is shared across two sequential processes — the
+# second serves a previously computed point from disk with zero
+# simulation work and byte-identical RunRecord bytes (see
+# cmd/tvpd/main_test.go).
+serve-smoke:
+	$(GO) test ./cmd/tvpd -run='^(TestServeSmoke|TestStoreSharedAcrossProcesses)$$' -count=1 -v
 
 report:
 	$(GO) run ./cmd/tvpreport -cachestats

@@ -1,0 +1,264 @@
+// Process-level tests for tvpd: a real binary, a real TCP listener,
+// real signals. TestServeSmoke is the `make serve-smoke` gate;
+// TestStoreSharedAcrossProcesses is the two-process persistence
+// acceptance test (a second daemon on the same -store-dir serves a
+// previously computed point from disk with zero simulation work and
+// byte-identical RunRecord bytes).
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+var tvpdBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "tvpd-bin")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	tvpdBin = filepath.Join(dir, "tvpd")
+	if out, err := exec.Command("go", "build", "-o", tvpdBin, ".").CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "building tvpd: %v\n%s", err, out)
+		os.Exit(1)
+	}
+	os.Exit(m.Run())
+}
+
+// daemon is one running tvpd process.
+type daemon struct {
+	cmd  *exec.Cmd
+	addr string
+	done chan error
+
+	mu     sync.Mutex
+	stderr strings.Builder
+}
+
+func (d *daemon) logStderr() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stderr.String()
+}
+
+// startDaemon launches tvpd on a free port and waits for the readiness
+// line on stderr.
+func startDaemon(t *testing.T, args ...string) *daemon {
+	t.Helper()
+	d := &daemon{done: make(chan error, 1)}
+	d.cmd = exec.Command(tvpdBin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	pipe, err := d.cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if d.cmd.ProcessState == nil {
+			d.cmd.Process.Kill()
+			<-d.done
+		}
+	})
+
+	sc := bufio.NewScanner(pipe)
+	for sc.Scan() {
+		line := sc.Text()
+		d.mu.Lock()
+		d.stderr.WriteString(line + "\n")
+		d.mu.Unlock()
+		if rest, ok := strings.CutPrefix(line, "tvpd: listening on "); ok {
+			d.addr = rest
+			break
+		}
+	}
+	go func() {
+		for sc.Scan() {
+			d.mu.Lock()
+			d.stderr.WriteString(sc.Text() + "\n")
+			d.mu.Unlock()
+		}
+		d.done <- d.cmd.Wait()
+	}()
+	if d.addr == "" {
+		t.Fatalf("no readiness line; stderr:\n%s", d.logStderr())
+	}
+	return d
+}
+
+// get polls url until the daemon answers, with a bounded retry loop —
+// the smoke test's liveness handshake.
+func (d *daemon) get(t *testing.T, path string) (*http.Response, []byte) {
+	t.Helper()
+	var lastErr error
+	for i := 0; i < 100; i++ {
+		resp, err := http.Get("http://" + d.addr + path)
+		if err == nil {
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return resp, body
+		}
+		lastErr = err
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("GET %s never answered: %v", path, lastErr)
+	return nil, nil
+}
+
+func (d *daemon) post(t *testing.T, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post("http://"+d.addr+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// terminate sends SIGTERM and asserts a graceful, zero-exit drain.
+func (d *daemon) terminate(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-d.done:
+		if err != nil {
+			t.Fatalf("tvpd exit after SIGTERM: %v\nstderr:\n%s", err, d.logStderr())
+		}
+	case <-time.After(30 * time.Second):
+		d.cmd.Process.Kill()
+		t.Fatalf("tvpd did not drain within 30s of SIGTERM\nstderr:\n%s", d.logStderr())
+	}
+	if log := d.logStderr(); !strings.Contains(log, "tvpd: drained") {
+		t.Fatalf("no drain marker in stderr:\n%s", log)
+	}
+}
+
+// figPoint is a small Fig-3-style point: first suite workload, TVP+SpSR.
+func figPoint(t *testing.T) string {
+	t.Helper()
+	names := workload.Names()
+	if len(names) == 0 {
+		t.Fatal("empty workload suite")
+	}
+	return fmt.Sprintf(`{"workload":%q,"vp":"tvp","spsr":true,"warmup":1000,"insts":20000}`, names[0])
+}
+
+func TestServeSmoke(t *testing.T) {
+	d := startDaemon(t, "-store-dir", t.TempDir(), "-j", "2", "-queue", "8")
+
+	// Status answers and reports a healthy, empty daemon.
+	resp, body := d.get(t, "/v1/status")
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte(`"healthy":true`)) {
+		t.Fatalf("status = %d %s", resp.StatusCode, body)
+	}
+
+	// One run computes, the repeat is served from memory.
+	resp, first := d.post(t, "/v1/run", figPoint(t))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: %d %s", resp.StatusCode, first)
+	}
+	if src := resp.Header.Get("X-Tvpd-Source"); src != "computed" {
+		t.Fatalf("first run source = %q", src)
+	}
+	if _, err := obs.DecodeRunRecord(first); err != nil {
+		t.Fatal(err)
+	}
+	resp, second := d.post(t, "/v1/run", figPoint(t))
+	if src := resp.Header.Get("X-Tvpd-Source"); src != "memory" {
+		t.Fatalf("second run source = %q", src)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("memory-tier record differs from computed record")
+	}
+
+	// A sweep streams NDJSON.
+	names := workload.Names()
+	resp, body = d.post(t, "/v1/sweep",
+		fmt.Sprintf(`{"workloads":[%q],"vp_modes":["off","tvp"],"warmup":1000,"insts":20000}`, names[0]))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: %d %s", resp.StatusCode, body)
+	}
+	lines := bytes.Split(bytes.TrimSpace(body), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("sweep returned %d lines, want 2:\n%s", len(lines), body)
+	}
+	for _, ln := range lines {
+		if _, err := obs.DecodeRunRecord(ln); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Error paths stay structured at the process boundary.
+	resp, body = d.post(t, "/v1/run", `{"workload":"no-such-kernel","insts":1}`)
+	if resp.StatusCode != http.StatusNotFound || !bytes.Contains(body, []byte("tvp.serve.error/v1")) {
+		t.Fatalf("unknown workload: %d %s", resp.StatusCode, body)
+	}
+
+	d.terminate(t)
+}
+
+func TestStoreSharedAcrossProcesses(t *testing.T) {
+	dir := t.TempDir()
+
+	// First daemon: compute one point, let the store absorb it.
+	d1 := startDaemon(t, "-store-dir", dir)
+	resp, first := d1.post(t, "/v1/run", figPoint(t))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first daemon run: %d %s", resp.StatusCode, first)
+	}
+	if src := resp.Header.Get("X-Tvpd-Source"); src != "computed" {
+		t.Fatalf("first daemon source = %q", src)
+	}
+	_, status := d1.get(t, "/v1/status")
+	if !bytes.Contains(status, []byte(`"simulated":1`)) || !bytes.Contains(status, []byte(`"puts":1`)) {
+		t.Fatalf("first daemon status: %s", status)
+	}
+	d1.terminate(t)
+
+	// Second daemon, same directory: the point must come off disk with
+	// zero simulation work and byte-identical record bytes.
+	d2 := startDaemon(t, "-store-dir", dir)
+	resp, second := d2.post(t, "/v1/run", figPoint(t))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second daemon run: %d %s", resp.StatusCode, second)
+	}
+	if src := resp.Header.Get("X-Tvpd-Source"); src != "disk" {
+		t.Fatalf("second daemon source = %q, want disk", src)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("record bytes differ across processes:\n%s\n%s", first, second)
+	}
+	_, status = d2.get(t, "/v1/status")
+	for _, want := range []string{`"simulated":0`, `"hits":1`} {
+		if !bytes.Contains(status, []byte(want)) {
+			t.Fatalf("second daemon status missing %s: %s", want, status)
+		}
+	}
+	d2.terminate(t)
+}

@@ -168,6 +168,11 @@ type Core struct {
 	committed   uint64 // committed architectural instructions (total)
 	lastCommitC uint64 // cycle of the last commit (deadlock detection)
 
+	// stopCheck, when non-nil, is polled every stopCheckCycles cycles by
+	// Run; true abandons the run with Result.Stopped set (cooperative
+	// per-request cancellation for the tvpd serving layer).
+	stopCheck func() bool
+
 	// Differential validation (config.Machine.CrossCheck) and its fault
 	// injector (crosscheck.go). xcheck is nil when disabled.
 	xcheck      *crossCheck
@@ -353,11 +358,28 @@ type Result struct {
 	Cycles    uint64 // total cycles including warmup
 	Committed uint64 // total committed architectural instructions
 	Halted    bool   // the program ran to completion
+	// Stopped reports that the run was abandoned early by the stop check
+	// (SetStopCheck); the stats cover only the simulated prefix and must
+	// not be cached or served as the point's result.
+	Stopped bool
 	// CPI is the post-warmup commit-slot attribution (zero unless
 	// EnableCPIStack was called or a CPIProbe was attached). Invariant:
 	// CPI.Total() == Stats.Cycles × CommitWidth, exactly.
 	CPI stats.CPIStack
 }
+
+// stopCheckCycles is how often Run polls the stop check: rarely enough
+// that the poll is free against ~10^3 simulated cycles of work, often
+// enough that a canceled request abandons its run within microseconds of
+// host time.
+const stopCheckCycles = 4096
+
+// SetStopCheck installs a cooperative cancellation hook: Run polls fn
+// every stopCheckCycles simulated cycles and abandons the run (returning
+// Result.Stopped) when it reports true. The serving layer points fn at a
+// request context so per-request deadlines reach into the cycle loop.
+// With no hook installed the loop pays one nil-check per cycle.
+func (c *Core) SetStopCheck(fn func() bool) { c.stopCheck = fn }
 
 // Run simulates until maxInsts architectural instructions have committed
 // (post-warmup instructions count toward stats), or until the program
@@ -365,6 +387,8 @@ type Result struct {
 func (c *Core) Run(warmup, maxInsts uint64) Result {
 	var warmSnap stats.Sim
 	warmed := warmup == 0
+	stopped := false
+	stopAt := c.cycle + stopCheckCycles
 	// Interval sampling (telemetry): probeNext is the committed-
 	// instruction count of the next sample, 0 while sampling is off, so
 	// the probe-less hot loop pays a single always-false comparison.
@@ -391,6 +415,13 @@ func (c *Core) Run(warmup, maxInsts uint64) Result {
 		if c.haltSeen && c.robCnt == 0 && c.dispCnt == 0 {
 			break
 		}
+		if c.stopCheck != nil && c.cycle >= stopAt {
+			if c.stopCheck() {
+				stopped = true
+				break
+			}
+			stopAt = c.cycle + stopCheckCycles
+		}
 		c.step()
 	}
 	if !warmed {
@@ -405,6 +436,7 @@ func (c *Core) Run(warmup, maxInsts uint64) Result {
 		Cycles:    c.cycle,
 		Committed: c.committed,
 		Halted:    c.haltSeen && c.robCnt == 0,
+		Stopped:   stopped,
 	}
 	if c.acct != nil {
 		res.CPI = c.acct.st

@@ -1,0 +1,49 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/config"
+)
+
+// TestStopCheckAbandonsRun exercises the cooperative cancellation seam:
+// a stop check that fires after a few polls must abandon the run early
+// with Result.Stopped set, well short of the requested budget.
+func TestStopCheckAbandonsRun(t *testing.T) {
+	c := New(config.Default(), phaseChangeProgram())
+	polls := 0
+	c.SetStopCheck(func() bool {
+		polls++
+		return polls >= 3
+	})
+	res := c.Run(0, 1<<62)
+	if !res.Stopped {
+		t.Fatal("expected Result.Stopped after the stop check fired")
+	}
+	if res.Halted {
+		t.Fatal("a stopped run must not report Halted")
+	}
+	if polls != 3 {
+		t.Fatalf("stop check polled %d times after firing (want exactly 3)", polls)
+	}
+	// The run must have stopped near the poll granularity, not at the end.
+	full := New(config.Default(), phaseChangeProgram()).Run(0, 1<<62)
+	if res.Committed >= full.Committed {
+		t.Fatalf("stopped run committed %d, full run %d — no early exit", res.Committed, full.Committed)
+	}
+}
+
+// TestStopCheckNeverFiringIsExact proves the seam is observation-only: a
+// stop check that always declines changes nothing about the run.
+func TestStopCheckNeverFiringIsExact(t *testing.T) {
+	plain := New(config.Default(), phaseChangeProgram()).Run(0, 1<<62)
+	c := New(config.Default(), phaseChangeProgram())
+	c.SetStopCheck(func() bool { return false })
+	checked := c.Run(0, 1<<62)
+	if checked.Stopped {
+		t.Fatal("declining stop check must not stop the run")
+	}
+	if plain.Stats != checked.Stats || plain.Cycles != checked.Cycles || plain.Committed != checked.Committed {
+		t.Fatal("stop check changed simulation results; it must be observation-only")
+	}
+}

@@ -1,0 +1,59 @@
+package report
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolBoundedQueueBackpressure: with 1 worker and a queue of 1, a
+// third submission must block until a slot frees, and a context that ends
+// while blocked must abort the submission with its error.
+func TestPoolBoundedQueueBackpressure(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Close()
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	if err := p.Submit(context.Background(), func() { close(started); <-block }); err != nil {
+		t.Fatal(err)
+	}
+	<-started // worker busy
+	if err := p.Submit(context.Background(), func() {}); err != nil {
+		t.Fatal(err) // fills the queue slot
+	}
+	if q, c := p.QueueDepth(); q != 1 || c != 1 {
+		t.Fatalf("queue depth = %d/%d, want 1/1", q, c)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.Submit(ctx, func() { t.Error("canceled submission ran") }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Submit on full queue with dead ctx = %v, want context.Canceled", err)
+	}
+	close(block)
+}
+
+// TestPoolCloseDrains: jobs accepted before Close all run; Submit after
+// Close fails with ErrPoolClosed.
+func TestPoolCloseDrains(t *testing.T) {
+	p := NewPool(2, 8)
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		if err := p.Submit(context.Background(), func() { defer wg.Done(); ran.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close()
+	wg.Wait()
+	if ran.Load() != 8 {
+		t.Fatalf("ran %d of 8 accepted jobs across Close", ran.Load())
+	}
+	if err := p.Submit(context.Background(), func() {}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrPoolClosed", err)
+	}
+}

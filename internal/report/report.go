@@ -14,6 +14,7 @@
 package report
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -289,7 +290,7 @@ func (c Config) runOne(s runSpec, share *traceShare) (stats.Sim, error) {
 	return st, err
 }
 
-// runAll executes the specs on the sweep worker pool (Config.Workers
+// runAll executes the specs on a sweep worker Pool (Config.Workers
 // wide) and returns stats in spec order — slot-indexed writes keep the
 // output independent of completion order and byte-identical to the
 // serial path. Specs are grouped by workload (order-preserving): each
@@ -313,15 +314,14 @@ func (c Config) runAll(specs []runSpec) ([]stats.Sim, error) {
 		}
 		groups[s.workload] = append(groups[s.workload], i)
 	}
-	sem := make(chan struct{}, c.workers())
+	pool := NewPool(c.workers(), 0)
+	defer pool.Close()
 	var wg sync.WaitGroup
 	for _, w := range order {
 		idxs := groups[w]
 		wg.Add(1)
-		go func(idxs []int) {
+		err := pool.Submit(context.Background(), func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
 			var share traceShare
 			for _, i := range idxs {
 				st, err := c.runOne(specs[i], &share)
@@ -331,7 +331,13 @@ func (c Config) runAll(specs []runSpec) ([]stats.Sim, error) {
 				}
 				out[i] = st
 			}
-		}(idxs)
+		})
+		if err != nil { // unreachable with a private pool; belt and braces
+			wg.Done()
+			for _, i := range idxs {
+				errs[i] = err
+			}
+		}
 	}
 	wg.Wait()
 	return out, errors.Join(errs...)

@@ -1,0 +1,83 @@
+package report
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/pipeline"
+	"repro/internal/simcache"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Point names one timing-simulation point for callers outside the figure
+// harness — most importantly the tvpd daemon (internal/serve), whose
+// two-tier result store is keyed by Point.Key. It is the exported twin
+// of the private runSpec + Config run-length pair.
+type Point struct {
+	Workload string
+	// Cfg is the machine configuration; it must be validated by the
+	// caller (config.Machine.Validate).
+	Cfg    *config.Machine
+	Warmup uint64
+	Insts  uint64
+	// FastWarmup replaces the timed warmup with a functional fast-forward
+	// from a shared per-workload checkpoint (see Config.FastWarmup).
+	FastWarmup bool
+}
+
+// Key returns the canonical content-addressed cache/store key of the
+// point. Two points with equal keys produce bit-identical stats.
+func (p Point) Key() simcache.RunKey {
+	return simcache.RunKey{
+		Workload:   p.Workload,
+		ConfigFP:   p.Cfg.Fingerprint(),
+		Warmup:     p.Warmup,
+		Insts:      p.Insts,
+		FastWarmup: p.FastWarmup,
+	}
+}
+
+// Simulate executes one timing run, uncached and unpooled, honoring ctx:
+// cancellation and deadlines are polled from inside the cycle loop
+// (pipeline.Core.SetStopCheck), so an abandoned request stops burning
+// CPU within microseconds instead of completing a multi-second run. The
+// returned error wraps ctx.Err() on early stop — which the simcache
+// layer treats as transient and refuses to memoize.
+func Simulate(ctx context.Context, p Point) (stats.Sim, error) {
+	if err := ctx.Err(); err != nil {
+		return stats.Sim{}, fmt.Errorf("report: simulate %s: %w", p.Workload, err)
+	}
+	var core *pipeline.Core
+	warm := p.Warmup
+	if p.FastWarmup {
+		snap, err := workload.Checkpoint(p.Workload, p.Warmup)
+		if err != nil {
+			return stats.Sim{}, err
+		}
+		core = pipeline.NewFromEmulator(p.Cfg, snap.Restore())
+		warm = 0
+	} else {
+		prg, err := workload.Program(p.Workload)
+		if err != nil {
+			return stats.Sim{}, err
+		}
+		core = pipeline.New(p.Cfg, prg)
+	}
+	if ctx.Done() != nil {
+		core.SetStopCheck(func() bool {
+			select {
+			case <-ctx.Done():
+				return true
+			default:
+				return false
+			}
+		})
+	}
+	res := core.Run(warm, p.Insts)
+	if res.Stopped {
+		return stats.Sim{}, fmt.Errorf("report: simulate %s: %w", p.Workload, ctx.Err())
+	}
+	return res.Stats, nil
+}

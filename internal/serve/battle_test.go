@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/simcache"
+	"repro/internal/store"
+)
+
+// TestCoalescingExactlyOneSimulation: N concurrent requests for the
+// identical point must run exactly one simulation — one leader computes,
+// every other request joins its in-flight result. The test hook holds
+// the leader open between the store probe and the simulation submit so
+// all joiners are provably lined up before the computation runs.
+func TestCoalescingExactlyOneSimulation(t *testing.T) {
+	const n = 8
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newTestServer(t, st)
+
+	release := make(chan struct{})
+	s.testHookBeforeSimulate = func(simcache.RunKey) { <-release }
+
+	var wg sync.WaitGroup
+	sources := make(chan string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := postJSON(t, ts.URL+"/v1/run", runBody(testWorkload(t, 0), 20000))
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status = %d", resp.StatusCode)
+			}
+			sources <- resp.Header.Get("X-Tvpd-Source")
+			readBody(t, resp)
+		}()
+	}
+
+	// Wait until all n requests are resolving (leader blocked in the
+	// hook, joiners parked on its singleflight entry), then let the one
+	// simulation run.
+	for i := 0; s.Inflight() < n; i++ {
+		if i > 10000 {
+			t.Fatalf("only %d of %d requests in flight", s.Inflight(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	close(sources)
+
+	bySource := map[string]int{}
+	for src := range sources {
+		bySource[src]++
+	}
+	if bySource[SourceComputed] != 1 || bySource[SourceCoalesced] != n-1 {
+		t.Fatalf("sources = %v, want 1 %s + %d %s", bySource, SourceComputed, n-1, SourceCoalesced)
+	}
+	c := s.Counters()
+	if c.Simulated != 1 {
+		t.Fatalf("simulated = %d, want exactly 1", c.Simulated)
+	}
+	if c.Coalesced != n-1 {
+		t.Fatalf("coalesced = %d, want %d", c.Coalesced, n-1)
+	}
+	if sc := st.Counters(); sc.Puts != 1 {
+		t.Fatalf("store writes = %d, want exactly 1", sc.Puts)
+	}
+}
+
+// TestDistinctPointsSaturatePool: more concurrent distinct points than
+// workers + queue slots must all complete — pool admission blocks with
+// backpressure instead of rejecting or deadlocking — and each distinct
+// point simulates exactly once.
+func TestDistinctPointsSaturatePool(t *testing.T) {
+	const n = 8
+	s, ts := newTestServer(t, nil) // Workers: 2, Queue: 4 < n
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct insts → distinct RunKeys: nothing coalesces.
+			body := fmt.Sprintf(`{"workload":%q,"vp":"off","insts":%d}`, testWorkload(t, 0), 10000+i)
+			resp := postJSON(t, ts.URL+"/v1/run", body)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("point %d: status = %d", i, resp.StatusCode)
+			}
+			readBody(t, resp)
+		}(i)
+	}
+	wg.Wait()
+
+	c := s.Counters()
+	if c.Simulated != n || c.Coalesced != 0 || c.Failed != 0 {
+		t.Fatalf("counters = %+v, want %d simulated", c, n)
+	}
+	if s.Inflight() != 0 {
+		t.Fatalf("inflight = %d after drain", s.Inflight())
+	}
+}

@@ -1,0 +1,14 @@
+// wallclock.go confines tvpd's legitimate wall-clock reads — daemon
+// uptime for /v1/status — to one file, allowlisted by the tvplint
+// nondet analyzer. Nothing here may feed simulated state: simulation
+// results remain pure functions of the RunKey, which is what makes the
+// two-tier result store sound.
+package serve
+
+import "time"
+
+// now reads the wall clock (daemon metadata only).
+func now() time.Time { return time.Now() }
+
+// sinceSeconds reports seconds elapsed since t (daemon metadata only).
+func sinceSeconds(t time.Time) float64 { return time.Since(t).Seconds() }

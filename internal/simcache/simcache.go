@@ -13,6 +13,8 @@
 package simcache
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -43,9 +45,10 @@ type entry[V any] struct {
 
 // Cache memoizes a keyed computation with singleflight semantics: the
 // first caller of a key runs the function; concurrent callers of the same
-// key block until it finishes and share the result. Both values and
-// errors are cached (simulations are deterministic, so an error is as
-// reproducible as a result).
+// key block until it finishes and share the result. Values and
+// deterministic errors are cached (simulations are deterministic, so such
+// an error is as reproducible as a result); context cancellation and
+// deadline errors are transient and evicted so a retry recomputes.
 type Cache[K comparable, V any] struct {
 	mu     sync.Mutex
 	m      map[K]*entry[V]
@@ -63,6 +66,13 @@ func New[K comparable, V any]() *Cache[K, V] {
 // in-flight computation. If fn panics, the panic propagates to the
 // first caller, waiters receive an error, and the key is forgotten so a
 // later call may retry.
+//
+// Deterministic errors are cached like values (a reproducible simulation
+// fails reproducibly), but context cancellation and deadline errors are
+// transient — they describe the caller, not the computation — so the key
+// is forgotten and a later call recomputes. Without that eviction a
+// single canceled request would poison its point for the cache's
+// lifetime (the original tvpd daemon bug).
 func (c *Cache[K, V]) Do(k K, fn func() (V, error)) (V, error) {
 	c.mu.Lock()
 	if e, ok := c.m[k]; ok {
@@ -88,8 +98,22 @@ func (c *Cache[K, V]) Do(k K, fn func() (V, error)) (V, error) {
 	}()
 	e.val, e.err = fn()
 	panicked = false
+	if transientErr(e.err) {
+		c.mu.Lock()
+		if c.m[k] == e {
+			delete(c.m, k)
+		}
+		c.mu.Unlock()
+	}
 	close(e.done)
 	return e.val, e.err
+}
+
+// transientErr reports whether err reflects the caller's context rather
+// than the computation itself, and therefore must not be memoized.
+func transientErr(err error) bool {
+	return err != nil &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
 }
 
 // Get returns the completed result for k without computing anything. It

@@ -1,7 +1,9 @@
 package simcache
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -59,6 +61,41 @@ func TestErrorsAreCached(t *testing.T) {
 	}
 	if calls != 1 {
 		t.Errorf("failing fn ran %d times, want 1 (deterministic failures must not retry)", calls)
+	}
+}
+
+// TestCancellationErrorsNotCached is the regression test for the daemon
+// error-poisoning bug: a loader failing with a context cancellation or
+// deadline error (even wrapped) must be evicted so a retry recomputes,
+// while the value produced by the retry is then cached normally.
+func TestCancellationErrorsNotCached(t *testing.T) {
+	for _, transient := range []error{
+		context.Canceled,
+		context.DeadlineExceeded,
+		fmt.Errorf("simulate w: %w", context.Canceled),
+		fmt.Errorf("simulate w: %w", context.DeadlineExceeded),
+	} {
+		c := New[string, int]()
+		calls := 0
+		_, err := c.Do("k", func() (int, error) { calls++; return 0, transient })
+		if !errors.Is(err, transient) {
+			t.Fatalf("Do error = %v, want %v", err, transient)
+		}
+		if c.Len() != 0 {
+			t.Fatalf("%v: key retained after transient failure", transient)
+		}
+		v, err := c.Do("k", func() (int, error) { calls++; return 9, nil })
+		if err != nil || v != 9 {
+			t.Fatalf("%v: retry = %d, %v (want 9, nil)", transient, v, err)
+		}
+		if calls != 2 {
+			t.Fatalf("%v: fn ran %d times, want 2 (transient error must recompute)", transient, calls)
+		}
+		// The retried value is a normal entry again.
+		v, err = c.Do("k", func() (int, error) { calls++; return 0, errors.New("must not run") })
+		if err != nil || v != 9 || calls != 2 {
+			t.Fatalf("%v: post-retry Do = %d, %v, calls %d", transient, v, err, calls)
+		}
 	}
 }
 
